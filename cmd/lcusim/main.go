@@ -1,0 +1,84 @@
+// Command lcusim regenerates the paper's tables and figures from the
+// simulator: Figure 1 (mechanism comparison), Figure 8 (model parameters),
+// Figures 9-10 (critical-section microbenchmark), Figures 11-12 (STM
+// benchmarks) and Figure 13 (applications).
+//
+// Usage:
+//
+//	lcusim [-iters N] [-stmops N] [-runs N] <target>...
+//
+// Targets: table1 table8 fig9a fig9b fig10a fig10b fig11a fig11b
+// fig12a fig12b fig13 micro stm all
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"fairrw/internal/bench"
+)
+
+func main() {
+	iters := flag.Int("iters", 8000, "critical-section entries per microbenchmark configuration")
+	stmops := flag.Int("stmops", 60, "operations per thread in STM benchmarks")
+	runs := flag.Int("runs", 5, "seeds per Figure 13 configuration")
+	flag.Usage = func() {
+		fmt.Fprintln(os.Stderr, "usage: lcusim [flags] <target>...")
+		fmt.Fprintln(os.Stderr, "targets: table1 table8 fig9a fig9b fig10a fig10b fig11a fig11b fig12a fig12b fig13 micro stm all")
+		flag.PrintDefaults()
+	}
+	flag.Parse()
+	bench.Iters = *iters
+	bench.STMOps = *stmops
+	bench.Fig13Runs = *runs
+
+	targets := flag.Args()
+	if len(targets) == 0 {
+		flag.Usage()
+		os.Exit(2)
+	}
+
+	run := map[string]func(){
+		"table1": func() { bench.Table1(os.Stdout) },
+		"table8": func() { bench.Table8(os.Stdout) },
+		"fig9a":  func() { bench.Fig9(os.Stdout, "A") },
+		"fig9b":  func() { bench.Fig9(os.Stdout, "B") },
+		"fig10a": func() { bench.Fig10(os.Stdout, "A") },
+		"fig10b": func() { bench.Fig10(os.Stdout, "B") },
+		"fig11a": func() { bench.Fig11(os.Stdout, "A") },
+		"fig11b": func() { bench.Fig11(os.Stdout, "B") },
+		"fig12a": func() { bench.Fig12(os.Stdout, "A") },
+		"fig12b": func() { bench.Fig12(os.Stdout, "B") },
+		"fig13":  func() { bench.Fig13(os.Stdout) },
+	}
+	groups := map[string][]string{
+		"micro": {"fig9a", "fig9b", "fig10a", "fig10b"},
+		"stm":   {"fig11a", "fig11b", "fig12a", "fig12b"},
+		"all": {"table1", "table8", "fig9a", "fig9b", "fig10a", "fig10b",
+			"fig11a", "fig11b", "fig12a", "fig12b", "fig13"},
+	}
+
+	var expand func(t string) []string
+	expand = func(t string) []string {
+		if g, ok := groups[t]; ok {
+			var out []string
+			for _, x := range g {
+				out = append(out, expand(x)...)
+			}
+			return out
+		}
+		return []string{t}
+	}
+
+	for _, t := range targets {
+		for _, x := range expand(t) {
+			f, ok := run[x]
+			if !ok {
+				fmt.Fprintf(os.Stderr, "lcusim: unknown target %q\n", x)
+				os.Exit(2)
+			}
+			f()
+		}
+	}
+}

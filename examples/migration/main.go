@@ -1,0 +1,61 @@
+// Migration: demonstrates the Section III-C machinery — a thread that
+// migrates while waiting in a lock queue (its stale entry is skipped by
+// the grant timer), a lock owner that migrates and releases remotely, and
+// a trylock that expires without wedging the queue.
+package main
+
+import (
+	"fmt"
+
+	"fairrw/internal/core"
+	"fairrw/internal/machine"
+)
+
+func main() {
+	m := machine.ModelA()
+	dev := core.New(m, core.Options{})
+	lock := m.Mem.AllocLine()
+
+	// Thread 1 holds the lock for a while.
+	m.Spawn("holder", 1, 0, func(c *machine.Ctx) {
+		c.HwLock(lock, true)
+		fmt.Printf("[%8d] t1 acquired on core %d\n", c.P.Now(), c.Core())
+		c.Compute(20_000)
+		c.HwUnlock(lock, true)
+		fmt.Printf("[%8d] t1 released\n", c.P.Now())
+	})
+
+	// Thread 2 enqueues, then migrates across the machine while waiting;
+	// its abandoned queue entry passes the grant along via the timer.
+	m.Spawn("migrator", 2, 1, func(c *machine.Ctx) {
+		c.Compute(500)
+		c.Acq(lock, true) // enqueue from core 1
+		fmt.Printf("[%8d] t2 queued from core %d, now migrating to core 9\n", c.P.Now(), c.Core())
+		c.Migrate(9)
+		c.HwLock(lock, true) // re-request from core 9
+		fmt.Printf("[%8d] t2 acquired on core %d after migrating\n", c.P.Now(), c.Core())
+		// Migrate while holding: the release will arrive from core 20 and
+		// be forwarded through the LRT (remote release).
+		c.Migrate(20)
+		c.Compute(1_000)
+		c.HwUnlock(lock, true)
+		fmt.Printf("[%8d] t2 released remotely from core %d\n", c.P.Now(), c.Core())
+	})
+
+	// Thread 3 uses a trylock that gives up, then comes back later.
+	m.Spawn("trier", 3, 2, func(c *machine.Ctx) {
+		c.Compute(1_000)
+		if !c.HwTryLock(lock, true, 3) {
+			fmt.Printf("[%8d] t3 trylock expired (entry left in queue, timer will skip it)\n", c.P.Now())
+		}
+		c.Compute(40_000)
+		c.HwLock(lock, true)
+		fmt.Printf("[%8d] t3 finally acquired\n", c.P.Now())
+		c.HwUnlock(lock, true)
+	})
+
+	m.Run()
+	fmt.Printf("\ndone at cycle %d\n", m.K.Now())
+	fmt.Printf("grant timeouts: %d, remote releases: %d, direct transfers: %d\n",
+		dev.Stats.GrantTimeouts, dev.Stats.RemoteReleases, dev.Stats.DirectXfers)
+}

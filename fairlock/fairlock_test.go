@@ -1,0 +1,333 @@
+package fairlock
+
+import (
+	"sync"
+	"sync/atomic"
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func TestMutualExclusion(t *testing.T) {
+	var m RWMutex
+	var inside int32
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < 500; j++ {
+				m.Lock()
+				if n := atomic.AddInt32(&inside, 1); n != 1 {
+					t.Errorf("%d writers inside", n)
+				}
+				atomic.AddInt32(&inside, -1)
+				m.Unlock()
+			}
+		}()
+	}
+	wg.Wait()
+}
+
+func TestReadersShare(t *testing.T) {
+	var m RWMutex
+	var inside, peak int32
+	var wg sync.WaitGroup
+	start := make(chan struct{})
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			<-start
+			m.RLock()
+			n := atomic.AddInt32(&inside, 1)
+			for {
+				p := atomic.LoadInt32(&peak)
+				if n <= p || atomic.CompareAndSwapInt32(&peak, p, n) {
+					break
+				}
+			}
+			time.Sleep(10 * time.Millisecond)
+			atomic.AddInt32(&inside, -1)
+			m.RUnlock()
+		}()
+	}
+	close(start)
+	wg.Wait()
+	if peak < 2 {
+		t.Fatalf("peak concurrent readers = %d, want >= 2", peak)
+	}
+}
+
+func TestWriterExcludesReaders(t *testing.T) {
+	var m RWMutex
+	var writerIn int32
+	var wg sync.WaitGroup
+	m.Lock()
+	atomic.StoreInt32(&writerIn, 1)
+	for i := 0; i < 4; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			m.RLock()
+			if atomic.LoadInt32(&writerIn) == 1 {
+				t.Error("reader admitted while writer holds")
+			}
+			m.RUnlock()
+		}()
+	}
+	time.Sleep(20 * time.Millisecond)
+	atomic.StoreInt32(&writerIn, 0)
+	m.Unlock()
+	wg.Wait()
+}
+
+func TestWriterNotStarvedByReaders(t *testing.T) {
+	var m RWMutex
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	// Continuous reader churn.
+	for i := 0; i < 4; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				m.RLock()
+				time.Sleep(time.Millisecond)
+				m.RUnlock()
+			}
+		}()
+	}
+	time.Sleep(5 * time.Millisecond)
+	done := make(chan struct{})
+	go func() {
+		m.Lock()
+		m.Unlock()
+		close(done)
+	}()
+	select {
+	case <-done:
+	case <-time.After(2 * time.Second):
+		t.Fatal("writer starved by reader churn")
+	}
+	close(stop)
+	wg.Wait()
+}
+
+func TestFIFOOrder(t *testing.T) {
+	var m RWMutex
+	m.Lock()
+	var order []int
+	var mu sync.Mutex
+	var wg sync.WaitGroup
+	for i := 0; i < 5; i++ {
+		i := i
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			m.Lock()
+			mu.Lock()
+			order = append(order, i)
+			mu.Unlock()
+			m.Unlock()
+		}()
+		time.Sleep(20 * time.Millisecond) // enforce distinct arrival order
+	}
+	m.Unlock()
+	wg.Wait()
+	for i := range order {
+		if order[i] != i {
+			t.Fatalf("admission order %v, want FIFO", order)
+		}
+	}
+}
+
+func TestLateReaderQueuesBehindWriter(t *testing.T) {
+	var m RWMutex
+	m.RLock() // active reader batch
+	writerIn := make(chan struct{})
+	readerIn := make(chan struct{})
+	go func() {
+		m.Lock()
+		close(writerIn)
+		time.Sleep(10 * time.Millisecond)
+		m.Unlock()
+	}()
+	time.Sleep(20 * time.Millisecond) // writer is now queued
+	go func() {
+		m.RLock() // must NOT jump the queued writer
+		close(readerIn)
+		m.RUnlock()
+	}()
+	time.Sleep(20 * time.Millisecond)
+	select {
+	case <-readerIn:
+		t.Fatal("late reader jumped a queued writer (not task-fair)")
+	default:
+	}
+	m.RUnlock()
+	<-writerIn
+	<-readerIn
+}
+
+func TestTryLock(t *testing.T) {
+	var m RWMutex
+	if !m.TryLock() {
+		t.Fatal("TryLock on free lock failed")
+	}
+	if m.TryLock() {
+		t.Fatal("TryLock on held lock succeeded")
+	}
+	if m.TryRLock() {
+		t.Fatal("TryRLock under writer succeeded")
+	}
+	m.Unlock()
+	if !m.TryRLock() {
+		t.Fatal("TryRLock on free lock failed")
+	}
+	if !m.TryRLock() {
+		t.Fatal("second TryRLock failed")
+	}
+	if m.TryLock() {
+		t.Fatal("TryLock with readers succeeded")
+	}
+	m.RUnlock()
+	m.RUnlock()
+}
+
+func TestTryLockForTimeout(t *testing.T) {
+	var m RWMutex
+	m.Lock()
+	t0 := time.Now()
+	if m.TryLockFor(30 * time.Millisecond) {
+		t.Fatal("TryLockFor succeeded against a holder")
+	}
+	if d := time.Since(t0); d < 25*time.Millisecond {
+		t.Fatalf("TryLockFor returned after %v, before the deadline", d)
+	}
+	m.Unlock()
+	if !m.TryLockFor(time.Second) {
+		t.Fatal("TryLockFor on free lock failed")
+	}
+	m.Unlock()
+	if m.QueueLen() != 0 {
+		t.Fatalf("queue not empty after timeout: %d", m.QueueLen())
+	}
+}
+
+func TestTimedOutWaiterUnblocksFollowers(t *testing.T) {
+	var m RWMutex
+	m.RLock()
+	// Writer with a short timeout queues, then a reader queues behind it.
+	go m.TryLockFor(20 * time.Millisecond)
+	time.Sleep(5 * time.Millisecond)
+	got := make(chan struct{})
+	go func() {
+		m.RLock()
+		close(got)
+		m.RUnlock()
+	}()
+	// After the writer times out, the queued reader must be admitted even
+	// though the original read hold is still active.
+	select {
+	case <-got:
+	case <-time.After(time.Second):
+		t.Fatal("reader stuck behind a timed-out writer")
+	}
+	m.RUnlock()
+}
+
+func TestUnlockPanics(t *testing.T) {
+	var m RWMutex
+	for _, f := range []func(){m.Unlock, m.RUnlock} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Error("unlock of unheld lock did not panic")
+				}
+			}()
+			f()
+		}()
+	}
+}
+
+func TestStats(t *testing.T) {
+	var m RWMutex
+	m.Lock()
+	m.Unlock()
+	m.RLock()
+	m.RLock()
+	m.RUnlock()
+	m.RUnlock()
+	r, w := m.Stats()
+	if r != 2 || w != 1 {
+		t.Fatalf("stats = (%d,%d), want (2,1)", r, w)
+	}
+}
+
+// Property: any interleaving of n read/write pairs leaves the lock free.
+func TestQuickAllReleasedFree(t *testing.T) {
+	f := func(ops []bool) bool {
+		var m RWMutex
+		var wg sync.WaitGroup
+		for _, write := range ops {
+			write := write
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				if write {
+					m.Lock()
+					m.Unlock()
+				} else {
+					m.RLock()
+					m.RUnlock()
+				}
+			}()
+		}
+		wg.Wait()
+		return m.TryLock() && func() bool { m.Unlock(); return true }() && m.QueueLen() == 0
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: reader/writer counters never go inconsistent under load.
+func TestStressMixed(t *testing.T) {
+	var m RWMutex
+	var data int64
+	var wg sync.WaitGroup
+	for i := 0; i < 16; i++ {
+		i := i
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < 300; j++ {
+				switch {
+				case i%4 == 0:
+					m.Lock()
+					data++
+					m.Unlock()
+				case i%4 == 1 && j%3 == 0:
+					if m.TryLockFor(time.Millisecond) {
+						data++
+						m.Unlock()
+					}
+				default:
+					m.RLock()
+					_ = data
+					m.RUnlock()
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	if m.QueueLen() != 0 {
+		t.Fatalf("queue len %d after quiescence", m.QueueLen())
+	}
+}

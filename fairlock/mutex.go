@@ -1,0 +1,102 @@
+package fairlock
+
+import (
+	"sync"
+	"time"
+)
+
+// Mutex is a FIFO-fair mutual-exclusion lock: waiters are admitted in
+// strict arrival order, like the write mode of RWMutex (and unlike
+// sync.Mutex, whose unlock can be barged by a spinning newcomer). It also
+// provides the trylock and timed acquisition of the paper's Figure 2.
+// The zero value is ready to use.
+type Mutex struct {
+	mu     sync.Mutex
+	held   bool
+	queue  []chan struct{}
+	grants uint64
+}
+
+// Lock acquires the mutex, queueing FIFO behind earlier waiters.
+func (m *Mutex) Lock() {
+	m.mu.Lock()
+	if !m.held && len(m.queue) == 0 {
+		m.held = true
+		m.grants++
+		m.mu.Unlock()
+		return
+	}
+	ch := make(chan struct{})
+	m.queue = append(m.queue, ch)
+	m.mu.Unlock()
+	<-ch
+}
+
+// Unlock releases the mutex, handing it directly to the queue head.
+func (m *Mutex) Unlock() {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if !m.held {
+		panic("fairlock: Unlock of unlocked Mutex")
+	}
+	if len(m.queue) > 0 {
+		ch := m.queue[0]
+		m.queue = m.queue[1:]
+		m.grants++
+		close(ch) // ownership transfers directly; held stays true
+		return
+	}
+	m.held = false
+}
+
+// TryLock acquires the mutex only if it is free and nobody waits.
+func (m *Mutex) TryLock() bool {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if m.held || len(m.queue) > 0 {
+		return false
+	}
+	m.held = true
+	m.grants++
+	return true
+}
+
+// TryLockFor acquires the mutex, waiting in queue at most d.
+func (m *Mutex) TryLockFor(d time.Duration) bool {
+	m.mu.Lock()
+	if !m.held && len(m.queue) == 0 {
+		m.held = true
+		m.grants++
+		m.mu.Unlock()
+		return true
+	}
+	ch := make(chan struct{})
+	m.queue = append(m.queue, ch)
+	m.mu.Unlock()
+
+	timer := time.NewTimer(d)
+	defer timer.Stop()
+	select {
+	case <-ch:
+		return true
+	case <-timer.C:
+	}
+	m.mu.Lock()
+	for i, q := range m.queue {
+		if q == ch {
+			m.queue = append(m.queue[:i], m.queue[i+1:]...)
+			m.mu.Unlock()
+			return false
+		}
+	}
+	m.mu.Unlock()
+	<-ch // the grant raced the timeout: we own the lock
+	return true
+}
+
+// Grants returns the cumulative number of acquisitions (diagnostics).
+func (m *Mutex) Grants() uint64 {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.grants
+}

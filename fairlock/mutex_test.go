@@ -1,0 +1,114 @@
+package fairlock
+
+import (
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+func TestMutexExclusion(t *testing.T) {
+	var m Mutex
+	var inside int32
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < 400; j++ {
+				m.Lock()
+				if n := atomic.AddInt32(&inside, 1); n != 1 {
+					t.Errorf("%d holders", n)
+				}
+				atomic.AddInt32(&inside, -1)
+				m.Unlock()
+			}
+		}()
+	}
+	wg.Wait()
+	if g := m.Grants(); g != 8*400 {
+		t.Fatalf("grants = %d, want %d", g, 8*400)
+	}
+}
+
+func TestMutexFIFO(t *testing.T) {
+	var m Mutex
+	m.Lock()
+	var order []int
+	var mu sync.Mutex
+	var wg sync.WaitGroup
+	for i := 0; i < 5; i++ {
+		i := i
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			m.Lock()
+			mu.Lock()
+			order = append(order, i)
+			mu.Unlock()
+			m.Unlock()
+		}()
+		time.Sleep(20 * time.Millisecond)
+	}
+	m.Unlock()
+	wg.Wait()
+	for i := range order {
+		if order[i] != i {
+			t.Fatalf("order = %v, want FIFO", order)
+		}
+	}
+}
+
+func TestMutexTryLock(t *testing.T) {
+	var m Mutex
+	if !m.TryLock() {
+		t.Fatal("TryLock on free mutex failed")
+	}
+	if m.TryLock() {
+		t.Fatal("TryLock on held mutex succeeded")
+	}
+	m.Unlock()
+}
+
+func TestMutexTryLockFor(t *testing.T) {
+	var m Mutex
+	m.Lock()
+	if m.TryLockFor(20 * time.Millisecond) {
+		t.Fatal("TryLockFor succeeded against a holder")
+	}
+	m.Unlock()
+	if !m.TryLockFor(time.Second) {
+		t.Fatal("TryLockFor on free mutex failed")
+	}
+	m.Unlock()
+}
+
+func TestMutexUnlockPanics(t *testing.T) {
+	var m Mutex
+	defer func() {
+		if recover() == nil {
+			t.Error("Unlock of unlocked mutex did not panic")
+		}
+	}()
+	m.Unlock()
+}
+
+func TestMutexHandoffNoBarging(t *testing.T) {
+	// After Unlock with a waiter queued, a TryLock must fail: ownership
+	// transferred directly to the waiter (no barging window).
+	var m Mutex
+	m.Lock()
+	acquired := make(chan struct{})
+	go func() {
+		m.Lock()
+		close(acquired)
+		time.Sleep(20 * time.Millisecond)
+		m.Unlock()
+	}()
+	time.Sleep(20 * time.Millisecond) // waiter is queued
+	m.Unlock()
+	if m.TryLock() {
+		t.Fatal("TryLock barged in during hand-off")
+	}
+	<-acquired
+}

@@ -1,0 +1,3 @@
+module fairrw
+
+go 1.22

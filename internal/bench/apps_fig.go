@@ -1,0 +1,90 @@
+package bench
+
+import (
+	"fmt"
+	"io"
+	"text/tabwriter"
+
+	"fairrw/internal/apps"
+	"fairrw/internal/core"
+	"fairrw/internal/machine"
+	"fairrw/internal/ssb"
+	"fairrw/internal/stats"
+)
+
+// Fig13Runs is the number of seeds per configuration (the paper reports a
+// 95% confidence interval over several runs).
+var Fig13Runs = 5
+
+// Fig13Apps lists the applications with the paper's thread counts.
+var Fig13Apps = []struct {
+	Name    string
+	Threads int
+}{
+	{"fluidanimate", 32},
+	{"cholesky", 16},
+	{"radiosity", 16},
+}
+
+// Fig13Locks are the compared lock models.
+var Fig13Locks = []string{"posix", "lcu", "ssb"}
+
+// FLTSlots configures the optional Free Lock Table ablation appended to
+// Figure 13 when > 0.
+var FLTSlots = 4
+
+func runApp(app string, threads int, lock string, flt int, seed int64) float64 {
+	m := machine.ModelA()
+	switch lock {
+	case "lcu":
+		core.New(m, core.Options{FLTSize: flt})
+	case "ssb":
+		ssb.New(m, ssb.Options{})
+	}
+	cycles := apps.Run(m, apps.Config{App: app, Lock: lock, Threads: threads, Seed: seed})
+	return float64(cycles)
+}
+
+// Fig13 regenerates Figure 13: application execution time (model A) with
+// 95% confidence intervals, plus the paper's speedup commentary and the
+// FLT ablation for radiosity (Section IV-C).
+func Fig13(w io.Writer) {
+	fmt.Fprintln(w, "Figure 13 — application execution time (cycles, model A, mean ± 95% CI)")
+	tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(tw, "app\tthreads\tposix\tlcu\tssb\tlcu speedup")
+	var speedups []float64
+	radiosityPosix := 0.0
+	for _, a := range Fig13Apps {
+		means := map[string]float64{}
+		cis := map[string]float64{}
+		for _, lock := range Fig13Locks {
+			var xs []float64
+			for r := 0; r < Fig13Runs; r++ {
+				xs = append(xs, runApp(a.Name, a.Threads, lock, 0, int64(1000+r*77)))
+			}
+			means[lock] = stats.Mean(xs)
+			cis[lock] = stats.CI95(xs)
+		}
+		sp := means["posix"] / means["lcu"]
+		speedups = append(speedups, sp)
+		if a.Name == "radiosity" {
+			radiosityPosix = means["posix"]
+		}
+		fmt.Fprintf(tw, "%s\t%d\t%.0f±%.0f\t%.0f±%.0f\t%.0f±%.0f\t%.3fx\n",
+			a.Name, a.Threads,
+			means["posix"], cis["posix"], means["lcu"], cis["lcu"], means["ssb"], cis["ssb"], sp)
+	}
+	tw.Flush()
+	fmt.Fprintf(w, "geometric-mean LCU speedup over posix: %.3fx (paper: ~1.02x; fluidanimate +7.4%%, radiosity negative)\n",
+		stats.GeoMean(speedups))
+
+	if FLTSlots > 0 {
+		var xs []float64
+		for r := 0; r < Fig13Runs; r++ {
+			xs = append(xs, runApp("radiosity", 16, "lcu", FLTSlots, int64(1000+r*77)))
+		}
+		fmt.Fprintf(w, "FLT ablation — radiosity with %d-slot FLT: %.0f±%.0f cycles (%.3fx vs posix; Section IV-C biasing restored)\n",
+			FLTSlots, stats.Mean(xs), stats.CI95(xs), radiosityPosix/stats.Mean(xs))
+	}
+	fmt.Fprintln(w)
+}

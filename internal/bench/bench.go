@@ -1,0 +1,184 @@
+// Package bench regenerates every table and figure of the paper's
+// evaluation section as text tables: Figure 1 (qualitative comparison),
+// Figure 8 (model parameters), Figures 9-10 (critical-section transfer
+// time), Figures 11-12 (STM benchmarks) and Figure 13 (applications).
+// Each Fig* function is deterministic for a given seed.
+package bench
+
+import (
+	"fmt"
+	"io"
+	"text/tabwriter"
+
+	"fairrw/internal/microbench"
+	"fairrw/internal/stats"
+)
+
+// Fig9Threads is the thread-count sweep of Figure 9.
+var Fig9Threads = []int{4, 8, 16, 24, 32}
+
+// Fig9WritePcts is the write-percentage sweep of Figures 9 and 10.
+var Fig9WritePcts = []int{100, 75, 50, 25}
+
+// Fig10Threads extends past the core count to expose the preemption
+// anomaly of queue-based software locks.
+var Fig10Threads = []int{4, 8, 16, 24, 32, 40, 48}
+
+// Iters is the number of critical-section entries per configuration.
+// The paper uses 50 000; cycles/CS converges long before that, so the
+// default here is smaller. Override for higher fidelity.
+var Iters = 8000
+
+// Fig9 regenerates Figure 9 (CS execution time, LCU vs SSB) for the given
+// model ("A" => Fig. 9a, "B" => Fig. 9b).
+func Fig9(w io.Writer, model string) {
+	fmt.Fprintf(w, "Figure 9%s — CS execution time (cycles/CS), LCU vs SSB, model %s\n",
+		map[string]string{"A": "a", "B": "b"}[model], model)
+	tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
+	fmt.Fprintf(tw, "threads")
+	for _, lock := range []string{"lcu", "ssb"} {
+		for _, wp := range Fig9WritePcts {
+			fmt.Fprintf(tw, "\t%s-%d%%w", lock, wp)
+		}
+	}
+	fmt.Fprintln(tw)
+
+	var lcuMutex, ssbMutex []float64
+	for _, th := range Fig9Threads {
+		fmt.Fprintf(tw, "%d", th)
+		for _, lock := range []string{"lcu", "ssb"} {
+			for _, wp := range Fig9WritePcts {
+				r := microbench.Run(microbench.Config{
+					Model: model, Lock: lock, Threads: th, WritePct: wp,
+					TotalIters: Iters, Seed: 42,
+				})
+				fmt.Fprintf(tw, "\t%.0f", r.CyclesPerCS)
+				if wp == 100 {
+					if lock == "lcu" {
+						lcuMutex = append(lcuMutex, r.CyclesPerCS)
+					} else {
+						ssbMutex = append(ssbMutex, r.CyclesPerCS)
+					}
+				}
+			}
+		}
+		fmt.Fprintln(tw)
+	}
+	tw.Flush()
+	var gains []float64
+	for i := range lcuMutex {
+		gains = append(gains, (ssbMutex[i]-lcuMutex[i])/ssbMutex[i]*100)
+	}
+	fmt.Fprintf(w, "mutual-exclusion advantage of LCU over SSB: %.1f%% avg (paper: 30.6%% on model A)\n\n",
+		stats.Mean(gains))
+}
+
+// Fig10 regenerates Figure 10 (CS execution time, LCU vs software locks).
+func Fig10(w io.Writer, model string) {
+	fmt.Fprintf(w, "Figure 10%s — CS execution time (cycles/CS), LCU vs software locks, model %s\n",
+		map[string]string{"A": "a", "B": "b"}[model], model)
+	locks := []string{"lcu", "tas", "tatas", "mcs", "mrsw"}
+	tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
+	fmt.Fprintf(tw, "threads")
+	for _, lock := range locks {
+		if lock == "lcu" || lock == "mrsw" {
+			for _, wp := range Fig9WritePcts {
+				fmt.Fprintf(tw, "\t%s-%d%%w", lock, wp)
+			}
+		} else {
+			fmt.Fprintf(tw, "\t%s", lock)
+		}
+	}
+	fmt.Fprintln(tw)
+
+	var lcu100, mcs100, lcu75, mrsw75 []float64
+	for _, th := range Fig10Threads {
+		fmt.Fprintf(tw, "%d", th)
+		for _, lock := range locks {
+			wps := []int{100}
+			if lock == "lcu" || lock == "mrsw" {
+				wps = Fig9WritePcts
+			}
+			for _, wp := range wps {
+				r := microbench.Run(microbench.Config{
+					Model: model, Lock: lock, Threads: th, WritePct: wp,
+					TotalIters: Iters, Seed: 42,
+				})
+				fmt.Fprintf(tw, "\t%.0f", r.CyclesPerCS)
+				if th <= 32 {
+					switch {
+					case lock == "lcu" && wp == 100:
+						lcu100 = append(lcu100, r.CyclesPerCS)
+					case lock == "mcs" && wp == 100:
+						mcs100 = append(mcs100, r.CyclesPerCS)
+					case lock == "lcu" && wp == 75:
+						lcu75 = append(lcu75, r.CyclesPerCS)
+					case lock == "mrsw" && wp == 75:
+						mrsw75 = append(mrsw75, r.CyclesPerCS)
+					}
+				}
+			}
+		}
+		fmt.Fprintln(tw)
+	}
+	tw.Flush()
+	fmt.Fprintf(w, "LCU speedup over MCS (mutex, <=32 threads): %.2fx (paper: >2x)\n",
+		stats.Mean(mcs100)/stats.Mean(lcu100))
+	fmt.Fprintf(w, "LCU speedup over MRSW (75%% reads): %.2fx (paper: 9.14x avg)\n\n",
+		stats.Mean(mrsw75)/stats.Mean(lcu75))
+}
+
+// Table1 prints the qualitative mechanism comparison of Figure 1.
+func Table1(w io.Writer) {
+	fmt.Fprintln(w, "Figure 1 — locking mechanism comparison")
+	tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(tw, "mechanism\tlocal spin\tFIFO fair\tRW locks\ttrylock\tevict detect\tscales\tmem/area\ttransfer msgs\tL1 changes")
+	rows := [][]string{
+		{"TAS/TATAS", "no", "no", "no", "yes", "n/a", "poor", "1 word", "O(n) coherence", "no"},
+		{"MCS", "yes", "yes", "no", "variant", "no", "good", "O(n) nodes", "inval+fetch", "no"},
+		{"MRSW (RW-MCS)", "partly", "yes", "yes", "no", "no", "counter hotspot", "O(n)+counter", "inval+fetch", "no"},
+		{"QOLB", "yes", "yes", "no", "no", "no", "good", "2 lines/lock", "direct", "yes"},
+		{"Full/Empty bits", "n/a", "no", "no", "no", "no", "good", "tag all memory", "remote", "yes"},
+		{"MAO/AMO", "no (remote)", "no", "no", "yes", "n/a", "memory latency", "none", "round trip", "no"},
+		{"SSB", "no (remote)", "no", "yes (unfair)", "yes", "n/a", "retry storms", "bank table", "round trip", "no"},
+		{"Lock Cache/Table", "no (bus)", "no", "no", "no", "no", "single bus", "central table", "bus", "no"},
+		{"LCU+LRT (this)", "yes", "yes", "yes (fair)", "yes", "yes (timer)", "good", "LCU+LRT tables", "direct", "no"},
+	}
+	for _, r := range rows {
+		for i, cell := range r {
+			if i > 0 {
+				fmt.Fprint(tw, "\t")
+			}
+			fmt.Fprint(tw, cell)
+		}
+		fmt.Fprintln(tw)
+	}
+	tw.Flush()
+	fmt.Fprintln(w)
+}
+
+// Table8 prints the machine-model parameters of Figure 8.
+func Table8(w io.Writer) {
+	fmt.Fprintln(w, "Figure 8 — model parameters")
+	tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(tw, "parameter\tModel A\tModel B")
+	for _, row := range [][3]string{
+		{"Chips", "32", "4"},
+		{"Cores", "32 (32x1)", "32 (4x8)"},
+		{"L1 size (KB, I+D per core)", "64+64", "64+64"},
+		{"L2 size (KB per chip)", "1024", "8 banks x 256"},
+		{"L1 access latency (cycles)", "3", "3"},
+		{"L2 access latency (cycles)", "10", "16"},
+		{"Local memory latency (cycles)", "186", "210"},
+		{"Remote memory latency (cycles)", "186", "315"},
+		{"LCU entries", "8+2", "16+2"},
+		{"LCU latency (cycles)", "3", "3"},
+		{"LRT modules", "32", "8"},
+		{"LRT entries (16-way)", "512", "512"},
+		{"LRT latency (cycles)", "6", "6"},
+	} {
+		fmt.Fprintf(tw, "%s\t%s\t%s\n", row[0], row[1], row[2])
+	}
+	tw.Flush()
+	fmt.Fprintln(w)
+}

@@ -1,0 +1,66 @@
+package bench
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestTable1Renders(t *testing.T) {
+	var b bytes.Buffer
+	Table1(&b)
+	out := b.String()
+	for _, want := range []string{"LCU+LRT", "QOLB", "SSB", "direct"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("table 1 missing %q", want)
+		}
+	}
+}
+
+func TestTable8Renders(t *testing.T) {
+	var b bytes.Buffer
+	Table8(&b)
+	out := b.String()
+	for _, want := range []string{"186", "315", "8+2", "16-way"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("table 8 missing %q", want)
+		}
+	}
+}
+
+func TestFig9SmallRenders(t *testing.T) {
+	old := Iters
+	Iters = 400
+	defer func() { Iters = old }()
+	oldT := Fig9Threads
+	Fig9Threads = []int{4}
+	defer func() { Fig9Threads = oldT }()
+	var b bytes.Buffer
+	Fig9(&b, "A")
+	if !strings.Contains(b.String(), "lcu-100%w") {
+		t.Fatal("figure 9 header missing")
+	}
+	if !strings.Contains(b.String(), "advantage") {
+		t.Fatal("figure 9 summary missing")
+	}
+}
+
+func TestFig13SmallRenders(t *testing.T) {
+	oldR := Fig13Runs
+	Fig13Runs = 2
+	defer func() { Fig13Runs = oldR }()
+	oldA := Fig13Apps
+	Fig13Apps = Fig13Apps[1:2] // cholesky only: fastest
+	defer func() { Fig13Apps = oldA }()
+	oldF := FLTSlots
+	FLTSlots = 0
+	defer func() { FLTSlots = oldF }()
+	var b bytes.Buffer
+	Fig13(&b)
+	if !strings.Contains(b.String(), "cholesky") {
+		t.Fatal("figure 13 row missing")
+	}
+	if !strings.Contains(b.String(), "±") {
+		t.Fatal("figure 13 confidence interval missing")
+	}
+}

@@ -1,0 +1,101 @@
+package coherence
+
+import "fairrw/internal/memmodel"
+
+// cacheArray is a set-associative presence tracker with LRU replacement.
+// It records which lines a cache holds; coherence *state* lives in the
+// directory, so the array only answers hit/miss and picks victims.
+type cacheArray struct {
+	sets  [][]cacheWay
+	ways  int
+	clock uint64
+
+	Hits, Misses, Evictions uint64
+}
+
+type cacheWay struct {
+	line  memmodel.Addr
+	valid bool
+	used  uint64
+}
+
+func newCacheArray(sets, ways int) *cacheArray {
+	c := &cacheArray{sets: make([][]cacheWay, sets), ways: ways}
+	for i := range c.sets {
+		c.sets[i] = make([]cacheWay, ways)
+	}
+	return c
+}
+
+func (c *cacheArray) setOf(line memmodel.Addr) []cacheWay {
+	return c.sets[(line>>memmodel.LineShift)%uint64(len(c.sets))]
+}
+
+// has reports whether line is present, updating LRU on hit.
+func (c *cacheArray) has(line memmodel.Addr) bool {
+	set := c.setOf(line)
+	for i := range set {
+		if set[i].valid && set[i].line == line {
+			c.clock++
+			set[i].used = c.clock
+			c.Hits++
+			return true
+		}
+	}
+	c.Misses++
+	return false
+}
+
+// peek reports presence without touching LRU or statistics.
+func (c *cacheArray) peek(line memmodel.Addr) bool {
+	set := c.setOf(line)
+	for i := range set {
+		if set[i].valid && set[i].line == line {
+			return true
+		}
+	}
+	return false
+}
+
+// insert installs line, returning the evicted line (if any).
+func (c *cacheArray) insert(line memmodel.Addr) (victim memmodel.Addr, evicted bool) {
+	set := c.setOf(line)
+	c.clock++
+	// Already present (e.g. upgrade): refresh.
+	for i := range set {
+		if set[i].valid && set[i].line == line {
+			set[i].used = c.clock
+			return 0, false
+		}
+	}
+	// Free way.
+	for i := range set {
+		if !set[i].valid {
+			set[i] = cacheWay{line: line, valid: true, used: c.clock}
+			return 0, false
+		}
+	}
+	// Evict LRU.
+	lru := 0
+	for i := 1; i < len(set); i++ {
+		if set[i].used < set[lru].used {
+			lru = i
+		}
+	}
+	victim = set[lru].line
+	set[lru] = cacheWay{line: line, valid: true, used: c.clock}
+	c.Evictions++
+	return victim, true
+}
+
+// invalidate removes line if present, reporting whether it was.
+func (c *cacheArray) invalidate(line memmodel.Addr) bool {
+	set := c.setOf(line)
+	for i := range set {
+		if set[i].valid && set[i].line == line {
+			set[i].valid = false
+			return true
+		}
+	}
+	return false
+}

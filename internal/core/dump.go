@@ -1,0 +1,38 @@
+package core
+
+import (
+	"fmt"
+	"strings"
+)
+
+// DumpState renders all allocated LCU entries and live LRT entries, for
+// debugging wedged protocol states in tests and examples.
+func (d *Device) DumpState() string {
+	var b strings.Builder
+	for _, u := range d.lcus {
+		all := append([]*entry{}, u.ordinary...)
+		all = append(all, u.local, u.remote)
+		all = append(all, u.forced...)
+		for _, e := range all {
+			if e.status == StatusFree {
+				continue
+			}
+			fmt.Fprintf(&b, "lcu%-3d %-7s t%-4d %#x head=%v ovf=%v next=%s xfer=%d class=%d\n",
+				u.core, e.status, e.tid, e.addr, e.head, e.overflow, e.next, e.xfer, e.class)
+		}
+	}
+	for _, l := range d.lrts {
+		ents := []*lrtEntry{}
+		for _, set := range l.sets {
+			ents = append(ents, set...)
+		}
+		for _, e := range l.overflowTab {
+			ents = append(ents, e)
+		}
+		for _, e := range ents {
+			fmt.Fprintf(&b, "lrt%-3d %#x head=%s tail=%s granted=%v rdCnt=%d ww=%d xfer=%d resv=%s\n",
+				l.index, e.addr, e.head, e.tail, e.granted, e.readerCnt, e.waitingWriters, e.xfer, e.resv)
+		}
+	}
+	return b.String()
+}

@@ -1,0 +1,401 @@
+package core
+
+import (
+	"fairrw/internal/memmodel"
+	"fairrw/internal/sim"
+)
+
+// lrtEntry tracks one locked address (Figure 3, right).
+type lrtEntry struct {
+	addr memmodel.Addr
+
+	head    nodeRef // current (or last known) queue head
+	tail    nodeRef // last enqueued requestor
+	granted bool    // the head has been granted the lock
+
+	readerCnt      int // overflow-mode readers currently holding the lock
+	waitingWriters int // enqueued writers not yet granted
+
+	xfer uint64 // highest observed head-transfer count
+
+	resv    nodeRef // reservation for a starving nonblocking requestor
+	resvSeq uint64
+
+	lastUse uint64
+}
+
+func sameRef(a, b nodeRef) bool {
+	return a.valid && b.valid && a.tid == b.tid && a.lcu == b.lcu
+}
+
+// free reports whether no thread holds or waits for the lock.
+func (e *lrtEntry) free() bool {
+	return !e.head.valid && e.readerCnt == 0
+}
+
+// lrt is one Lock Reservation Table: a set-associative hardware table
+// backed by a hash table in main memory for overflow (Section III-E).
+type lrt struct {
+	d     *Device
+	index int
+	assoc int
+	sets  [][]*lrtEntry
+
+	overflowTab map[memmodel.Addr]*lrtEntry
+	clock       uint64
+}
+
+func newLRT(d *Device, index, entries, assoc int) *lrt {
+	nsets := entries / assoc
+	if nsets == 0 {
+		nsets = 1
+	}
+	l := &lrt{d: d, index: index, assoc: assoc, overflowTab: make(map[memmodel.Addr]*lrtEntry)}
+	l.sets = make([][]*lrtEntry, nsets)
+	return l
+}
+
+func (l *lrt) setIdx(addr memmodel.Addr) int {
+	h := (addr >> memmodel.LineShift) * 0x9e3779b97f4a7c15
+	return int(h % uint64(len(l.sets)))
+}
+
+// lookup finds the entry for addr, swapping it in from the memory overflow
+// table if needed. extra is the added memory latency of overflow handling.
+func (l *lrt) lookup(addr memmodel.Addr) (ent *lrtEntry, extra sim.Time) {
+	si := l.setIdx(addr)
+	for _, e := range l.sets[si] {
+		if e.addr == addr {
+			l.clock++
+			e.lastUse = l.clock
+			return e, 0
+		}
+	}
+	if len(l.overflowTab) == 0 {
+		return nil, 0
+	}
+	// The overflow flag is set: the memory table must be consulted.
+	extra = l.d.M.P.MemLat
+	e, ok := l.overflowTab[addr]
+	if !ok {
+		return nil, extra
+	}
+	delete(l.overflowTab, addr)
+	l.d.Stats.LRTOverflowHits++
+	extra += l.place(e)
+	return e, extra
+}
+
+// peek returns the current entry for addr without cost or LRU effects.
+func (l *lrt) peek(addr memmodel.Addr) *lrtEntry {
+	for _, e := range l.sets[l.setIdx(addr)] {
+		if e.addr == addr {
+			return e
+		}
+	}
+	return l.overflowTab[addr]
+}
+
+// place inserts e into its set, evicting the LRU victim to memory if the
+// set is full. It returns the added memory latency.
+func (l *lrt) place(e *lrtEntry) sim.Time {
+	si := l.setIdx(e.addr)
+	l.clock++
+	e.lastUse = l.clock
+	if len(l.sets[si]) < l.assoc {
+		l.sets[si] = append(l.sets[si], e)
+		return 0
+	}
+	lru := 0
+	for i := 1; i < len(l.sets[si]); i++ {
+		if l.sets[si][i].lastUse < l.sets[si][lru].lastUse {
+			lru = i
+		}
+	}
+	victim := l.sets[si][lru]
+	l.sets[si][lru] = e
+	l.overflowTab[victim.addr] = victim
+	l.d.Stats.LRTEvictions++
+	return l.d.M.P.MemLat
+}
+
+// create allocates a fresh entry for addr.
+func (l *lrt) create(addr memmodel.Addr) (*lrtEntry, sim.Time) {
+	e := &lrtEntry{addr: addr}
+	l.d.Stats.LRTCreates++
+	return e, l.place(e)
+}
+
+// remove deletes the entry for addr wherever it lives.
+func (l *lrt) remove(addr memmodel.Addr) {
+	si := l.setIdx(addr)
+	for i, e := range l.sets[si] {
+		if e.addr == addr {
+			l.sets[si] = append(l.sets[si][:i], l.sets[si][i+1:]...)
+			l.d.Stats.LRTDeletes++
+			return
+		}
+	}
+	if _, ok := l.overflowTab[addr]; ok {
+		delete(l.overflowTab, addr)
+		l.d.Stats.LRTDeletes++
+	}
+}
+
+// after schedules f once the extra (overflow) latency has elapsed.
+func (l *lrt) after(extra sim.Time, f func()) {
+	if extra == 0 {
+		f()
+		return
+	}
+	l.d.M.K.Schedule(extra, f)
+}
+
+// ---------------------------------------------------------------------------
+// Message handlers.
+
+// onRequest processes a lock REQUEST (Section III-A cases a/b/c, plus the
+// nonblocking/overflow paths of Section III-D).
+func (l *lrt) onRequest(m reqMsg) {
+	d := l.d
+	ent, extra := l.lookup(m.addr)
+
+	if ent == nil {
+		// Case (a): the address is not locked. Allocate and grant.
+		ent, ex2 := l.create(m.addr)
+		extra += ex2
+		ent.head, ent.tail = m.req, m.req
+		ent.granted = true
+		g := grantMsg{addr: m.addr, tid: m.req.tid, head: true, xfer: ent.xfer, fromLRT: true}
+		d.trace("lrt%d GRANT-free %s", l.index, m.req)
+		l.after(extra, func() { d.lrtToLCU(l.index, m.req.lcu, func(u *lcu) { u.onGrant(g) }) })
+		return
+	}
+
+	// Reservation gate: while a reservation is pending, only the holder's
+	// iterative requests are served (Section III-D).
+	if ent.resv.valid {
+		if sameRef(ent.resv, m.req) {
+			if ent.free() {
+				ent.resv = nodeRef{}
+				ent.head, ent.tail = m.req, m.req
+				ent.granted = true
+				d.Stats.ResvGrants++
+				g := grantMsg{addr: m.addr, tid: m.req.tid, head: true, xfer: ent.xfer, fromLRT: true}
+				l.after(extra, func() { d.lrtToLCU(l.index, m.req.lcu, func(u *lcu) { u.onGrant(g) }) })
+				return
+			}
+		}
+		l.retryReq(extra, m)
+		return
+	}
+
+	if m.nb {
+		// Nonblocking entries may take free locks (handled above) or join
+		// active readers in overflow mode; anything else is RETRYed.
+		readHeld := (ent.head.valid && ent.granted && !ent.head.write && ent.waitingWriters == 0) ||
+			(!ent.head.valid && ent.readerCnt > 0)
+		if readHeld && !m.req.write {
+			ent.readerCnt++
+			g := grantMsg{addr: m.addr, tid: m.req.tid, overflow: true, xfer: ent.xfer, fromLRT: true}
+			l.after(extra, func() { d.lrtToLCU(l.index, m.req.lcu, func(u *lcu) { u.onGrant(g) }) })
+			return
+		}
+		if ent.free() {
+			ent.head, ent.tail = m.req, m.req
+			ent.granted = true
+			g := grantMsg{addr: m.addr, tid: m.req.tid, head: true, xfer: ent.xfer, fromLRT: true}
+			l.after(extra, func() { d.lrtToLCU(l.index, m.req.lcu, func(u *lcu) { u.onGrant(g) }) })
+			return
+		}
+		if !ent.resv.valid {
+			ent.resv = m.req
+			d.Stats.Reservations++
+			l.armResvTimer(ent)
+		}
+		l.retryReq(extra, m)
+		return
+	}
+
+	if !ent.head.valid {
+		// No queue: the lock is free (lingering entry) or held only by
+		// overflow readers.
+		ent.head, ent.tail = m.req, m.req
+		if ent.readerCnt == 0 || !m.req.write {
+			ent.granted = true
+			g := grantMsg{addr: m.addr, tid: m.req.tid, head: true, xfer: ent.xfer, fromLRT: true}
+			l.after(extra, func() { d.lrtToLCU(l.index, m.req.lcu, func(u *lcu) { u.onGrant(g) }) })
+			return
+		}
+		// A writer must wait for the overflow readers to drain.
+		ent.granted = false
+		ent.waitingWriters++
+		tid := m.req.tid
+		l.after(extra, func() { d.lrtToLCU(l.index, m.req.lcu, func(u *lcu) { u.onWait(m.addr, tid) }) })
+		return
+	}
+
+	// Cases (b)/(c): append to the queue and forward to the previous tail.
+	oldTail := ent.tail
+	ent.tail = m.req
+	if m.req.write {
+		ent.waitingWriters++
+	}
+	fw := fwdReqMsg{
+		addr: m.addr, req: m.req,
+		targetTid: oldTail.tid, targetWrite: oldTail.write,
+		targetIsHead: sameRef(oldTail, ent.head),
+		lrtXfer:      ent.xfer,
+	}
+	d.trace("lrt%d FWD %s -> tail %s", l.index, m.req, oldTail)
+	l.after(extra, func() { d.lrtToLCU(l.index, oldTail.lcu, func(u *lcu) { u.onFwdRequest(fw) }) })
+}
+
+func (l *lrt) retryReq(extra sim.Time, m reqMsg) {
+	tid := m.req.tid
+	addr := m.addr
+	l.after(extra, func() {
+		l.d.lrtToLCU(l.index, m.req.lcu, func(u *lcu) { u.onRetryReq(addr, tid) })
+	})
+}
+
+// onRelease processes a RELEASE (Sections III-A, III-B, III-C, III-D).
+func (l *lrt) onRelease(m relMsg) {
+	d := l.d
+	ent, extra := l.lookup(m.addr)
+	ackTo := m.lcu
+	tid := m.tid
+
+	ack := func() {
+		l.after(extra, func() { d.lrtToLCU(l.index, ackTo, func(u *lcu) { u.onRelDone(m.addr, tid) }) })
+	}
+
+	if ent == nil {
+		// Double release or release racing entry teardown: ack idempotently.
+		ack()
+		return
+	}
+
+	if m.headDrain {
+		// The tail of a fully-drained read queue releases on behalf of the
+		// original head (Section III-B).
+		if m.origHead.valid {
+			oh := m.origHead
+			l.after(extra, func() { d.lrtToLCU(l.index, oh.lcu, func(u *lcu) { u.onRelDone(m.addr, oh.tid) }) })
+		}
+		rel := nodeRef{valid: true, tid: m.tid, lcu: m.lcu, write: m.write}
+		if sameRef(ent.tail, rel) {
+			l.finishHeadRelease(ent, extra, m, ack)
+			return
+		}
+		// A requestor was appended behind the drained tail; the forwarded
+		// request will collect the lock from the releaser's REL entry.
+		ent.head = rel
+		ent.granted = true
+		l.after(extra, func() { d.lrtToLCU(l.index, ackTo, func(u *lcu) { u.onRetryRel(m.addr, tid) }) })
+		return
+	}
+
+	if ent.head.valid && ent.head.tid == m.tid {
+		if ent.head.lcu == m.lcu || sameRef(ent.tail, ent.head) {
+			// Normal (or migrated-but-uncontended) head release.
+			if sameRef(ent.tail, ent.head) {
+				l.finishHeadRelease(ent, extra, m, ack)
+				return
+			}
+			// A queue exists: a FWD_REQUEST is racing towards the releaser;
+			// tell it to hand the lock over on arrival (Section III-A).
+			l.after(extra, func() { d.lrtToLCU(l.index, ackTo, func(u *lcu) { u.onRetryRel(m.addr, tid) }) })
+			return
+		}
+		// Migrated owner with a queue: forward the release to the head node.
+		fw := fwdRelMsg{addr: m.addr, tid: m.tid, write: m.write, replyLCU: m.lcu, searchTid: ent.head.tid}
+		hlcu := ent.head.lcu
+		l.after(extra, func() { d.lrtToLCU(l.index, hlcu, func(u *lcu) { u.onFwdRelease(fw) }) })
+		return
+	}
+
+	if ent.readerCnt > 0 {
+		// Overflow reader release (Section III-D).
+		ent.readerCnt--
+		ack()
+		if ent.readerCnt == 0 && ent.head.valid && !ent.granted {
+			ent.granted = true
+			if ent.head.write && ent.waitingWriters > 0 {
+				ent.waitingWriters--
+			}
+			g := grantMsg{addr: m.addr, tid: ent.head.tid, head: true, xfer: ent.xfer, fromLRT: true}
+			hlcu := ent.head.lcu
+			l.after(extra, func() { d.lrtToLCU(l.index, hlcu, func(u *lcu) { u.onGrant(g) }) })
+		}
+		return
+	}
+
+	if ent.head.valid {
+		// Migrated reader (not the head): search the queue (Section III-C).
+		fw := fwdRelMsg{addr: m.addr, tid: m.tid, write: m.write, replyLCU: m.lcu, searchTid: ent.head.tid}
+		hlcu := ent.head.lcu
+		l.after(extra, func() { d.lrtToLCU(l.index, hlcu, func(u *lcu) { u.onFwdRelease(fw) }) })
+		return
+	}
+
+	// Nothing matches: spurious release; ack to unwedge the LCU.
+	ack()
+}
+
+// finishHeadRelease completes a release by the (sole) queue node: the lock
+// becomes free, remains with overflow readers, or the entry is deleted.
+func (l *lrt) finishHeadRelease(ent *lrtEntry, extra sim.Time, m relMsg, ack func()) {
+	if ent.readerCnt > 0 {
+		ent.head, ent.tail = nodeRef{}, nodeRef{}
+		ent.granted = false
+		ack()
+		return
+	}
+	if ent.resv.valid {
+		// Keep the entry so the reservation holder finds the lock free.
+		ent.head, ent.tail = nodeRef{}, nodeRef{}
+		ent.granted = false
+		ack()
+		return
+	}
+	l.remove(ent.addr)
+	ack()
+}
+
+// onHeadNotify updates the head pointer after a direct transfer and
+// acknowledges the previous holder (Figure 5).
+func (l *lrt) onHeadNotify(m headNotifyMsg) {
+	d := l.d
+	ent, extra := l.lookup(m.addr)
+	if ent != nil && m.xfer > ent.xfer {
+		ent.xfer = m.xfer
+		ent.head = m.newHead
+		ent.granted = true
+		if m.newHead.write && ent.waitingWriters > 0 {
+			ent.waitingWriters--
+		}
+	}
+	if m.prev.valid {
+		prev := m.prev
+		l.after(extra, func() { d.lrtToLCU(l.index, prev.lcu, func(u *lcu) { u.onRelDone(m.addr, prev.tid) }) })
+	}
+}
+
+// armResvTimer bounds a reservation's lifetime (e.g. the holder's trylock
+// expired and it will never re-request).
+func (l *lrt) armResvTimer(ent *lrtEntry) {
+	ent.resvSeq++
+	seq := ent.resvSeq
+	addr := ent.addr
+	l.d.M.K.Schedule(l.d.Opt.ResvTimeout, func() {
+		cur := l.peek(addr)
+		if cur != ent || ent.resvSeq != seq || !ent.resv.valid {
+			return
+		}
+		ent.resv = nodeRef{}
+		if ent.free() {
+			l.remove(addr)
+		}
+	})
+}

@@ -1,0 +1,63 @@
+package core
+
+import "fairrw/internal/memmodel"
+
+// reqMsg is a lock REQUEST from an LCU to the home LRT.
+type reqMsg struct {
+	addr memmodel.Addr
+	req  nodeRef
+	nb   bool // issued from a nonblocking entry: must not join a queue
+}
+
+// relMsg is a RELEASE from an LCU to the home LRT.
+type relMsg struct {
+	addr  memmodel.Addr
+	tid   uint64
+	lcu   int
+	write bool
+	// headDrain marks the tail of a fully-drained read queue releasing on
+	// behalf of the original head (whose entry still awaits its ack).
+	headDrain bool
+	origHead  nodeRef
+}
+
+// grantMsg delivers the lock, a reader share-grant (head=false), or the
+// Head token (head=true to a node already holding a read grant).
+type grantMsg struct {
+	addr     memmodel.Addr
+	tid      uint64
+	head     bool
+	overflow bool
+	xfer     uint64
+	prev     nodeRef // previous head, to be acknowledged via the LRT
+	fromLRT  bool    // granted directly by the LRT: no head notification needed
+}
+
+// fwdReqMsg is an enqueue forwarded by the LRT to the previous queue tail.
+type fwdReqMsg struct {
+	addr         memmodel.Addr
+	req          nodeRef
+	targetTid    uint64
+	targetWrite  bool
+	targetIsHead bool
+	lrtXfer      uint64
+}
+
+// fwdRelMsg is a release forwarded through the queue on behalf of a
+// migrated owner.
+type fwdRelMsg struct {
+	addr      memmodel.Addr
+	tid       uint64 // thread whose lock hold is being released
+	write     bool
+	replyLCU  int    // LCU hosting the releaser's temporary entry
+	searchTid uint64 // queue node to inspect at the receiving LCU
+}
+
+// headNotifyMsg tells the LRT about a head transfer, keeping the head
+// pointer valid and acknowledging the previous holder (Figure 5).
+type headNotifyMsg struct {
+	addr    memmodel.Addr
+	newHead nodeRef
+	xfer    uint64
+	prev    nodeRef
+}

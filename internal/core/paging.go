@@ -1,0 +1,117 @@
+package core
+
+import (
+	"fairrw/internal/memmodel"
+	"fairrw/internal/sim"
+)
+
+// pageSize is the virtual-memory page granularity of InvalidatePage.
+const pageSize = 4096
+
+// InvalidatePage implements the OS support of Section III-F: before a
+// virtual page with taken locks is paged out, the OS invalidates every
+// lock queue for addresses in the page. Queue entries are removed; the
+// current holder shifts to uncontended mode (only the LRT records it), and
+// active readers along a queue are converted to overflow readers so their
+// releases still reconcile at the LRT. Waiting requestors are RETRYed —
+// their software loops re-issue the request, which will fault the page
+// back in.
+//
+// It is invoked by the (simulated) OS, not by threads, and models the TLB-
+// shootdown handler's lock work; the OS charges its own execution cost.
+func (d *Device) InvalidatePage(pageAddr memmodel.Addr) (invalidated int) {
+	base := pageAddr &^ (pageSize - 1)
+	inPage := func(a memmodel.Addr) bool { return a >= base && a < base+pageSize }
+
+	for _, u := range d.lcus {
+		all := append([]*entry{}, u.ordinary...)
+		all = append(all, u.local, u.remote)
+		all = append(all, u.forced...)
+		for _, e := range all {
+			if e.status == StatusFree || !inPage(e.addr) {
+				continue
+			}
+			invalidated++
+			switch e.status {
+			case StatusAcq, StatusRcv:
+				// Holder (or holder-to-be): becomes an uncontended /
+				// overflow holder recorded only at the LRT.
+				l := d.homeLRT(e.addr)
+				if ent := l.peek(e.addr); ent != nil {
+					if !e.write && !sameRef(ent.head, nodeRef{valid: true, tid: e.tid, lcu: u.core, write: e.write}) {
+						// Reader mid-queue: record as overflow reader.
+						ent.readerCnt++
+					} else {
+						// Head/owner: collapse the queue to just the owner.
+						ent.head = nodeRef{valid: true, tid: e.tid, lcu: u.core, write: e.write}
+						ent.tail = ent.head
+						ent.granted = true
+					}
+				}
+				e.reset()
+			case StatusIssued, StatusWait:
+				// Waiting requestor: drop the entry; software re-issues.
+				w := e.waiter
+				e.reset()
+				if w != nil && w.Blocked() {
+					w.Wake(0)
+				}
+			case StatusRdRel, StatusRel, StatusSaved:
+				e.reset()
+			}
+		}
+	}
+
+	// Fix up LRT queue state: any entry in the page whose queue nodes were
+	// just removed keeps only its holder bookkeeping.
+	for _, l := range d.lrts {
+		for _, set := range l.sets {
+			for _, ent := range set {
+				if inPage(ent.addr) && ent.head.valid {
+					ent.tail = ent.head
+					ent.waitingWriters = 0
+					ent.resv = nodeRef{}
+				}
+			}
+		}
+		for _, ent := range l.overflowTab {
+			if inPage(ent.addr) && ent.head.valid {
+				ent.tail = ent.head
+				ent.waitingWriters = 0
+				ent.resv = nodeRef{}
+			}
+		}
+	}
+	return invalidated
+}
+
+// Enq implements the optional Enqueue primitive of footnote 1: a lock
+// prefetch. It joins the queue for addr (exactly like acq) but does not
+// acquire; a later acq finds the grant already local. Useful ahead of a
+// critical section whose lock address is known early.
+func (d *Device) Enq(p *sim.Proc, core int, tid uint64, addr memmodel.Addr, write bool) {
+	p.Wait(d.M.P.LCULat)
+	u := d.lcus[core]
+	if u.find(addr, tid) != nil {
+		return // already requested/held
+	}
+	u.acquireIssue(tid, addr, write)
+}
+
+// acquireIssue allocates an entry and sends the REQUEST without consuming
+// a grant — the issue half of acquire.
+func (u *lcu) acquireIssue(tid uint64, addr memmodel.Addr, write bool) {
+	d := u.d
+	e := u.allocLocal()
+	if e == nil {
+		return // table full; prefetch is best-effort
+	}
+	e.addr, e.tid, e.write = addr, tid, write
+	e.status = StatusIssued
+	e.nb = e.class != ClassOrdinary
+	d.Stats.Requests++
+	nb := e.nb
+	d.toLRT(u.core, addr, func(l *lrt) {
+		l.onRequest(reqMsg{addr: addr, req: nodeRef{valid: true, tid: tid, lcu: u.core, write: write}, nb: nb})
+	})
+}

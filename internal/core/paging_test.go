@@ -1,0 +1,132 @@
+package core
+
+import (
+	"testing"
+
+	"fairrw/internal/machine"
+	"fairrw/internal/sim"
+)
+
+func TestInvalidatePageReleasesWaiters(t *testing.T) {
+	m, d := newA(t, Options{})
+	lock := m.Mem.AllocLine()
+	var reacquired bool
+	m.Spawn("holder", 1, 0, func(c *machine.Ctx) {
+		c.HwLock(lock, true)
+		c.Compute(50_000)
+		c.HwUnlock(lock, true)
+	})
+	m.Spawn("waiter", 2, 1, func(c *machine.Ctx) {
+		c.Compute(500)
+		c.HwLock(lock, true) // queue, survive the invalidation, re-request
+		reacquired = true
+		c.HwUnlock(lock, true)
+	})
+	// OS pages out the lock's page mid-wait.
+	m.K.Schedule(5_000, func() {
+		if n := d.InvalidatePage(lock); n == 0 {
+			t.Error("InvalidatePage found nothing to invalidate")
+		}
+	})
+	m.Run()
+	if !reacquired {
+		t.Fatal("waiter never reacquired after page invalidation")
+	}
+}
+
+func TestInvalidatePageKeepsOwnerConsistent(t *testing.T) {
+	m, d := newA(t, Options{})
+	lock := m.Mem.AllocLine()
+	var second bool
+	m.Spawn("owner", 1, 0, func(c *machine.Ctx) {
+		c.HwLock(lock, true)
+		c.Compute(20_000)
+		c.HwUnlock(lock, true) // released after the invalidation: must work
+	})
+	m.Spawn("later", 2, 1, func(c *machine.Ctx) {
+		c.Compute(30_000)
+		c.HwLock(lock, true)
+		second = true
+		c.HwUnlock(lock, true)
+	})
+	m.K.Schedule(5_000, func() { d.InvalidatePage(lock) })
+	m.Run()
+	if !second {
+		t.Fatal("lock wedged after page invalidation of the owner")
+	}
+}
+
+func TestInvalidatePageConvertsQueueReadersToOverflow(t *testing.T) {
+	m, d := newA(t, Options{})
+	lock := m.Mem.AllocLine()
+	done := 0
+	for i := 0; i < 3; i++ {
+		tid := uint64(i + 1)
+		m.Spawn("reader", tid, i, func(c *machine.Ctx) {
+			c.HwLock(lock, false)
+			c.Compute(20_000)
+			c.HwUnlock(lock, false)
+			done++
+		})
+	}
+	var writerGot bool
+	m.Spawn("writer", 9, 5, func(c *machine.Ctx) {
+		c.Compute(30_000)
+		c.HwLock(lock, true)
+		writerGot = true
+		c.HwUnlock(lock, true)
+	})
+	m.K.Schedule(8_000, func() { d.InvalidatePage(lock) })
+	m.Run()
+	if done != 3 {
+		t.Fatalf("only %d readers finished", done)
+	}
+	if !writerGot {
+		t.Fatal("writer wedged: overflow reader accounting broken after invalidation")
+	}
+}
+
+func TestEnqueuePrefetch(t *testing.T) {
+	m, d := newA(t, Options{})
+	lock := m.Mem.AllocLine()
+	var coldLat, prefLat sim.Time
+	m.Spawn("t", 1, 0, func(c *machine.Ctx) {
+		// Cold acquisition: full LRT round trip visible to the thread.
+		t0 := c.P.Now()
+		c.HwLock(lock, true)
+		coldLat = c.P.Now() - t0
+		c.HwUnlock(lock, true)
+		c.Compute(5_000)
+
+		// Prefetched acquisition: issue Enq, overlap with compute, then
+		// lock. The overlap must stay within the grant timer, or the LCU
+		// reclaims the unconsumed grant (Section III-C).
+		d.Enq(c.P, c.Core(), c.TID, lock, true)
+		c.Compute(500) // grant arrives during this work
+		t0 = c.P.Now()
+		c.HwLock(lock, true)
+		prefLat = c.P.Now() - t0
+		c.HwUnlock(lock, true)
+	})
+	m.Run()
+	if prefLat*4 > coldLat {
+		t.Fatalf("prefetch did not hide the request latency: cold=%d prefetched=%d", coldLat, prefLat)
+	}
+}
+
+func TestInvalidatePageIdempotent(t *testing.T) {
+	m, d := newA(t, Options{})
+	lock := m.Mem.AllocLine()
+	m.Spawn("t", 1, 0, func(c *machine.Ctx) {
+		c.HwLock(lock, true)
+		c.HwUnlock(lock, true)
+	})
+	m.Run()
+	// Nothing held: both calls are no-ops.
+	if n := d.InvalidatePage(lock); n != 0 {
+		t.Fatalf("invalidated %d entries on an idle page", n)
+	}
+	if n := d.InvalidatePage(lock); n != 0 {
+		t.Fatalf("second invalidation found %d entries", n)
+	}
+}

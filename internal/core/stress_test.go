@@ -1,0 +1,146 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+
+	"fairrw/internal/machine"
+	"fairrw/internal/memmodel"
+	"fairrw/internal/sim"
+)
+
+// TestChaos mixes every hazard the protocol must survive: reader/writer
+// mixes, trylock aborts, migrations mid-wait and mid-hold, and more threads
+// than cores. The run must terminate with mutual exclusion intact.
+func TestChaos(t *testing.T) {
+	m, d := newA(t, Options{})
+	m.K.MaxEvents = 80_000_000 // hard wedge detector
+
+	locks := make([]memmodel.Addr, 12)
+	cks := make([]*checker, 12)
+	for i := range locks {
+		locks[i] = m.Mem.AllocLine()
+		cks[i] = &checker{t: t}
+	}
+	const threads = 40 // > 32 cores: oversubscription + preemption
+	done := 0
+	for i := 0; i < threads; i++ {
+		tid := uint64(i + 1)
+		core := i % m.P.Cores
+		rng := rand.New(rand.NewSource(int64(i)*2654435761 + 99))
+		m.Spawn("chaos", tid, core, func(c *machine.Ctx) {
+			for j := 0; j < 30; j++ {
+				li := rng.Intn(len(locks))
+				write := rng.Intn(100) < 30
+				switch rng.Intn(10) {
+				case 0: // trylock, give up quickly
+					if c.HwTryLock(locks[li], write, 2) {
+						cks[li].enter(write)
+						c.Compute(40)
+						cks[li].exit(write)
+						c.HwUnlock(locks[li], write)
+					}
+				case 1: // migrate mid-wait; a successful acq must be honoured
+					got := c.Acq(locks[li], write)
+					c.Migrate(rng.Intn(m.P.Cores))
+					if !got {
+						c.HwLock(locks[li], write)
+					}
+					cks[li].enter(write)
+					c.Compute(60)
+					cks[li].exit(write)
+					c.HwUnlock(locks[li], write)
+				case 2: // migrate while holding
+					c.HwLock(locks[li], write)
+					cks[li].enter(write)
+					c.Migrate(rng.Intn(m.P.Cores))
+					c.Compute(60)
+					cks[li].exit(write)
+					c.HwUnlock(locks[li], write)
+				default:
+					c.HwLock(locks[li], write)
+					cks[li].enter(write)
+					c.Compute(sim.Time(50 + rng.Intn(100)))
+					cks[li].exit(write)
+					c.HwUnlock(locks[li], write)
+				}
+				c.Compute(sim.Time(rng.Intn(200)))
+			}
+			done++
+		})
+	}
+	m.Run()
+	if done != threads {
+		t.Fatalf("done = %d of %d — protocol wedged\n%s", done, threads, d.DumpState())
+	}
+}
+
+// TestChaosModelB repeats the chaos run on the m-CMP machine.
+func TestChaosModelB(t *testing.T) {
+	m, d := newB(t, Options{})
+	m.K.MaxEvents = 80_000_000
+	locks := make([]memmodel.Addr, 8)
+	cks := make([]*checker, 8)
+	for i := range locks {
+		locks[i] = m.Mem.AllocLine()
+		cks[i] = &checker{t: t}
+	}
+	done := 0
+	for i := 0; i < 24; i++ {
+		tid := uint64(i + 1)
+		core := i % m.P.Cores
+		rng := rand.New(rand.NewSource(int64(i)*7 + 5))
+		m.Spawn("chaos", tid, core, func(c *machine.Ctx) {
+			for j := 0; j < 25; j++ {
+				li := rng.Intn(len(locks))
+				write := rng.Intn(100) < 25
+				if rng.Intn(8) == 0 {
+					c.Migrate(rng.Intn(m.P.Cores))
+				}
+				c.HwLock(locks[li], write)
+				cks[li].enter(write)
+				c.Compute(80)
+				cks[li].exit(write)
+				c.HwUnlock(locks[li], write)
+			}
+			done++
+		})
+	}
+	m.Run()
+	if done != 24 {
+		t.Fatalf("done = %d of 24 — protocol wedged\n%s", done, d.DumpState())
+	}
+}
+
+// TestChaosWithFLT runs the chaos mix with the FLT ablation enabled.
+func TestChaosWithFLT(t *testing.T) {
+	m, d := newA(t, Options{FLTSize: 2})
+	m.K.MaxEvents = 80_000_000
+	locks := make([]memmodel.Addr, 6)
+	cks := make([]*checker, 6)
+	for i := range locks {
+		locks[i] = m.Mem.AllocLine()
+		cks[i] = &checker{t: t}
+	}
+	done := 0
+	for i := 0; i < 16; i++ {
+		tid := uint64(i + 1)
+		rng := rand.New(rand.NewSource(int64(i) + 31))
+		m.Spawn("chaos", tid, i%m.P.Cores, func(c *machine.Ctx) {
+			for j := 0; j < 40; j++ {
+				li := rng.Intn(len(locks))
+				write := rng.Intn(100) < 50
+				c.HwLock(locks[li], write)
+				cks[li].enter(write)
+				c.Compute(50)
+				cks[li].exit(write)
+				c.HwUnlock(locks[li], write)
+			}
+			done++
+		})
+	}
+	m.Run()
+	if done != 16 {
+		t.Fatalf("done = %d of 16 with FLT\n%s", done, d.DumpState())
+	}
+}

@@ -1,0 +1,37 @@
+package machine
+
+// Barrier is a simulated centralized barrier for the application kernels.
+// Its cost model is a flat reconvergence latency rather than a detailed
+// coherence dance: the paper's experiments measure lock behaviour, and the
+// barrier cost is identical across lock models.
+type Barrier struct {
+	n       int
+	arrived int
+	waiters []*Ctx
+}
+
+// barrierLat is the flat cost charged to every thread leaving a barrier.
+const barrierLat = 100
+
+// NewBarrier creates a barrier for n participants.
+func (m *Machine) NewBarrier(n int) *Barrier {
+	return &Barrier{n: n}
+}
+
+// Arrive blocks the thread until all n participants have arrived.
+func (b *Barrier) Arrive(c *Ctx) {
+	c.ensureRunning()
+	b.arrived++
+	if b.arrived == b.n {
+		b.arrived = 0
+		ws := b.waiters
+		b.waiters = nil
+		for _, w := range ws {
+			w.P.Wake(barrierLat)
+		}
+		c.P.Wait(barrierLat)
+		return
+	}
+	b.waiters = append(b.waiters, c)
+	c.P.Block()
+}

@@ -1,0 +1,80 @@
+package machine
+
+// coreSched multiplexes simulated threads onto one core with round-robin
+// timeslicing. With at most one thread per core (the common case) it adds
+// no overhead and never preempts; oversubscribed cores rotate every
+// Quantum cycles, which is what produces the queue-lock preemption anomaly
+// of Figure 10 when thread counts exceed core counts.
+type coreSched struct {
+	core       int
+	ctxs       []*Ctx
+	cur        int
+	timerArmed bool
+}
+
+func (s *coreSched) add(c *Ctx) {
+	s.ctxs = append(s.ctxs, c)
+	if len(s.ctxs) == 1 {
+		s.cur = 0
+		s.dispatch(c)
+		return
+	}
+	c.running = false
+	s.armTimer(c.M)
+}
+
+func (s *coreSched) remove(c *Ctx) {
+	for i, x := range s.ctxs {
+		if x == c {
+			s.ctxs = append(s.ctxs[:i], s.ctxs[i+1:]...)
+			if i < s.cur || s.cur == len(s.ctxs) {
+				if s.cur > 0 {
+					s.cur--
+				}
+			}
+			break
+		}
+	}
+	c.running = false
+	if len(s.ctxs) > 0 {
+		s.dispatch(s.ctxs[s.cur])
+	}
+}
+
+// dispatch marks c runnable and wakes it if it was parked waiting for CPU.
+func (s *coreSched) dispatch(c *Ctx) {
+	if c.running {
+		return
+	}
+	c.running = true
+	if c.waitingToRun {
+		c.waitingToRun = false
+		c.P.Wake(c.M.P.SwitchCost)
+	}
+}
+
+// rotate preempts the current thread and dispatches the next.
+func (s *coreSched) rotate(m *Machine) {
+	if len(s.ctxs) < 2 {
+		return
+	}
+	s.ctxs[s.cur].running = false
+	s.cur = (s.cur + 1) % len(s.ctxs)
+	s.dispatch(s.ctxs[s.cur])
+}
+
+func (s *coreSched) armTimer(m *Machine) {
+	if s.timerArmed {
+		return
+	}
+	s.timerArmed = true
+	m.K.Schedule(m.P.Quantum, func() { s.tick(m) })
+}
+
+func (s *coreSched) tick(m *Machine) {
+	s.timerArmed = false
+	if len(s.ctxs) > 1 {
+		s.rotate(m)
+		s.armTimer(m)
+	}
+}

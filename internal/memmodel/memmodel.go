@@ -1,0 +1,90 @@
+// Package memmodel provides the simulated physical memory: a sparse
+// word-granular backing store, a bump allocator for workloads, and the
+// address-to-home-controller interleaving used by the directory, the LRT
+// and the SSB.
+package memmodel
+
+import "fmt"
+
+// LineShift is log2 of the coherence line size (64 bytes).
+const LineShift = 6
+
+// LineSize is the coherence line size in bytes.
+const LineSize = 1 << LineShift
+
+// Addr is a simulated physical address.
+type Addr = uint64
+
+// LineOf returns the line-aligned address containing a.
+func LineOf(a Addr) Addr { return a &^ (LineSize - 1) }
+
+// Memory is the simulated physical memory of one machine.
+type Memory struct {
+	words   map[Addr]uint64
+	brk     Addr
+	numHome int
+}
+
+// New creates a memory with the given number of home controllers. The heap
+// starts at a non-zero base so that address 0 can serve as a nil sentinel.
+func New(numHome int) *Memory {
+	if numHome <= 0 {
+		panic("memmodel: need at least one home controller")
+	}
+	return &Memory{
+		words:   make(map[Addr]uint64),
+		brk:     0x1000,
+		numHome: numHome,
+	}
+}
+
+// NumHomes returns the number of home memory controllers.
+func (m *Memory) NumHomes() int { return m.numHome }
+
+// HomeOf returns the memory controller index owning address a. Lines are
+// interleaved across controllers, as in the evaluated systems.
+func (m *Memory) HomeOf(a Addr) int {
+	return int((a >> LineShift) % uint64(m.numHome))
+}
+
+// Alloc reserves size bytes aligned to align (a power of two) and returns
+// the base address. Allocation is simulation-level bookkeeping only; it
+// costs no cycles.
+func (m *Memory) Alloc(size, align Addr) Addr {
+	if align == 0 {
+		align = 8
+	}
+	if align&(align-1) != 0 {
+		panic(fmt.Sprintf("memmodel: alignment %d is not a power of two", align))
+	}
+	base := (m.brk + align - 1) &^ (align - 1)
+	m.brk = base + size
+	return base
+}
+
+// AllocWords reserves n 8-byte words and returns the base address.
+func (m *Memory) AllocWords(n int) Addr {
+	return m.Alloc(Addr(n)*8, 8)
+}
+
+// AllocLine reserves one full line-aligned coherence line, so the returned
+// word shares its line with nothing else. Queue-lock nodes use this to get
+// private spin lines.
+func (m *Memory) AllocLine() Addr {
+	return m.Alloc(LineSize, LineSize)
+}
+
+// Read returns the 8-byte word at address a (zero if never written).
+func (m *Memory) Read(a Addr) uint64 { return m.words[a] }
+
+// Write stores the 8-byte word v at address a.
+func (m *Memory) Write(a Addr, v uint64) {
+	if v == 0 {
+		delete(m.words, a)
+		return
+	}
+	m.words[a] = v
+}
+
+// Words returns the number of distinct non-zero words stored, for tests.
+func (m *Memory) Words() int { return len(m.words) }

@@ -1,0 +1,87 @@
+package memmodel
+
+import "testing"
+
+func TestAllocAlignment(t *testing.T) {
+	m := New(4)
+	a := m.Alloc(24, 8)
+	if a%8 != 0 {
+		t.Fatalf("addr %#x not 8-aligned", a)
+	}
+	b := m.Alloc(8, 64)
+	if b%64 != 0 {
+		t.Fatalf("addr %#x not 64-aligned", b)
+	}
+	if b < a+24 {
+		t.Fatalf("allocations overlap: a=%#x..%#x b=%#x", a, a+24, b)
+	}
+}
+
+func TestAllocBadAlignmentPanics(t *testing.T) {
+	m := New(1)
+	defer func() {
+		if recover() == nil {
+			t.Error("non-power-of-two alignment did not panic")
+		}
+	}()
+	m.Alloc(8, 12)
+}
+
+func TestAllocLinePrivate(t *testing.T) {
+	m := New(2)
+	a := m.AllocLine()
+	b := m.AllocLine()
+	if LineOf(a) == LineOf(b) {
+		t.Fatal("AllocLine returned two words on the same line")
+	}
+}
+
+func TestHomeInterleaving(t *testing.T) {
+	m := New(8)
+	seen := map[int]bool{}
+	for i := 0; i < 64; i++ {
+		a := m.AllocLine()
+		h := m.HomeOf(a)
+		if h < 0 || h >= 8 {
+			t.Fatalf("home %d out of range", h)
+		}
+		seen[h] = true
+	}
+	if len(seen) != 8 {
+		t.Fatalf("interleaving used %d homes, want 8", len(seen))
+	}
+	// Same line, same home regardless of offset.
+	a := m.AllocLine()
+	if m.HomeOf(a) != m.HomeOf(a+56) {
+		t.Fatal("words on one line mapped to different homes")
+	}
+}
+
+func TestReadWrite(t *testing.T) {
+	m := New(1)
+	a := m.AllocWords(2)
+	if m.Read(a) != 0 {
+		t.Fatal("fresh word not zero")
+	}
+	m.Write(a, 42)
+	m.Write(a+8, 7)
+	if m.Read(a) != 42 || m.Read(a+8) != 7 {
+		t.Fatal("read after write mismatch")
+	}
+	m.Write(a, 0)
+	if m.Read(a) != 0 {
+		t.Fatal("zero write not visible")
+	}
+	if m.Words() != 1 {
+		t.Fatalf("Words() = %d, want 1 (zero words are not stored)", m.Words())
+	}
+}
+
+func TestLineOf(t *testing.T) {
+	if LineOf(0x1238) != 0x1200 {
+		t.Fatalf("LineOf(0x1238) = %#x", LineOf(0x1238))
+	}
+	if LineOf(0x1200) != 0x1200 {
+		t.Fatal("LineOf not idempotent on aligned addr")
+	}
+}

@@ -1,0 +1,155 @@
+// Package microbench implements the Section IV-A critical-section
+// microbenchmark: multiple threads iteratively enter one short critical
+// section protected by a single lock, with a configurable proportion of
+// read accesses. It reports cycles per critical section plus fairness
+// metrics (per-thread acquisition counts, writer waiting times), and runs
+// against every lock implementation: LCU, SSB, TAS, TATAS, MCS, MRSW and
+// the POSIX-style mutex.
+package microbench
+
+import (
+	"fmt"
+	"math/rand"
+
+	"fairrw/internal/core"
+	"fairrw/internal/machine"
+	"fairrw/internal/sim"
+	"fairrw/internal/ssb"
+	"fairrw/internal/swlocks"
+)
+
+// Config parameterizes one microbenchmark run.
+type Config struct {
+	Model      string // "A" or "B"
+	Lock       string // lcu, ssb, tas, tatas, mcs, clh, mrsw, posix
+	Threads    int
+	WritePct   int // percentage of write (exclusive) accesses; 100 = mutex
+	TotalIters int // critical-section entries across all threads
+	CSWork     sim.Time
+	Gap        sim.Time
+	Seed       int64
+	FLT        int // FLT slots for the lcu ablation (0 = off)
+}
+
+// Result carries the measured outcome of a run.
+type Result struct {
+	Config
+	TotalCycles sim.Time
+	CyclesPerCS float64
+	// PerThread is the acquisition count per thread (fairness).
+	PerThread []int
+	// WriterWaitMean is the mean cycles writers spent waiting to enter.
+	WriterWaitMean float64
+	// Messages is the total interconnect message count.
+	Messages uint64
+	// MaxOverMin is the unfairness ratio of acquisition counts.
+	MaxOverMin float64
+}
+
+// NewMachine builds a machine for the named model.
+func NewMachine(model string) *machine.Machine {
+	switch model {
+	case "A":
+		return machine.ModelA()
+	case "B":
+		return machine.ModelB()
+	}
+	panic(fmt.Sprintf("microbench: unknown model %q", model))
+}
+
+// MakeLock installs the requested lock implementation on m.
+func MakeLock(m *machine.Machine, name string, flt int) swlocks.RWLock {
+	switch name {
+	case "lcu":
+		core.New(m, core.Options{FLTSize: flt})
+		return swlocks.NewHWLock(m, "lcu")
+	case "ssb":
+		ssb.New(m, ssb.Options{})
+		return swlocks.NewHWLock(m, "ssb")
+	case "tas":
+		return swlocks.NewTAS(m)
+	case "tatas":
+		return swlocks.NewTATAS(m)
+	case "mcs":
+		return swlocks.NewMCS(m)
+	case "clh":
+		return swlocks.NewCLH(m)
+	case "mrsw":
+		return swlocks.NewMRSW(m)
+	case "posix":
+		return swlocks.NewPosix(m)
+	}
+	panic(fmt.Sprintf("microbench: unknown lock %q", name))
+}
+
+// Run executes the microbenchmark and returns its measurements.
+func Run(cfg Config) Result {
+	if cfg.TotalIters == 0 {
+		cfg.TotalIters = 8000
+	}
+	if cfg.CSWork == 0 {
+		cfg.CSWork = 100
+	}
+	if cfg.Gap == 0 {
+		cfg.Gap = 100
+	}
+	m := NewMachine(cfg.Model)
+	l := MakeLock(m, cfg.Lock, cfg.FLT)
+
+	iters := cfg.TotalIters / cfg.Threads
+	if iters == 0 {
+		iters = 1
+	}
+	res := Result{Config: cfg, PerThread: make([]int, cfg.Threads)}
+	var writerWaits []float64
+
+	for i := 0; i < cfg.Threads; i++ {
+		idx := i
+		tid := uint64(i + 1)
+		corenum := i % m.P.Cores
+		rng := rand.New(rand.NewSource(cfg.Seed + int64(i)*104729))
+		m.Spawn("mb", tid, corenum, func(c *machine.Ctx) {
+			for j := 0; j < iters; j++ {
+				write := rng.Intn(100) < cfg.WritePct
+				t0 := c.P.Now()
+				l.Lock(c, write)
+				if write {
+					writerWaits = append(writerWaits, float64(c.P.Now()-t0))
+				}
+				res.PerThread[idx]++
+				c.Compute(cfg.CSWork)
+				l.Unlock(c, write)
+				c.Compute(cfg.Gap)
+			}
+		})
+	}
+	m.Run()
+
+	res.TotalCycles = m.K.Now()
+	did := 0
+	for _, n := range res.PerThread {
+		did += n
+	}
+	res.CyclesPerCS = float64(res.TotalCycles) / float64(did)
+	res.Messages = m.Net.Sent
+	if len(writerWaits) > 0 {
+		s := 0.0
+		for _, w := range writerWaits {
+			s += w
+		}
+		res.WriterWaitMean = s / float64(len(writerWaits))
+	}
+	min, max := res.PerThread[0], res.PerThread[0]
+	for _, n := range res.PerThread {
+		if n < min {
+			min = n
+		}
+		if n > max {
+			max = n
+		}
+	}
+	if min > 0 {
+		res.MaxOverMin = float64(max) / float64(min)
+	}
+	return res
+}

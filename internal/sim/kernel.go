@@ -1,0 +1,115 @@
+// Package sim provides a deterministic discrete-event simulation kernel.
+//
+// The kernel advances a virtual clock measured in cycles and executes
+// scheduled events in (time, insertion-order) order. Simulated threads are
+// modelled as Procs: goroutine-backed coroutines of which exactly one is
+// runnable at any instant, so simulation state needs no locking and every
+// run is bit-for-bit reproducible.
+package sim
+
+import (
+	"container/heap"
+	"fmt"
+)
+
+// Time is a point in virtual time, in cycles.
+type Time uint64
+
+// event is a scheduled callback.
+type event struct {
+	at  Time
+	seq uint64 // tie-breaker: insertion order
+	fn  func()
+}
+
+type eventHeap []*event
+
+func (h eventHeap) Len() int { return len(h) }
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].at != h[j].at {
+		return h[i].at < h[j].at
+	}
+	return h[i].seq < h[j].seq
+}
+func (h eventHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
+func (h *eventHeap) Push(x interface{}) { *h = append(*h, x.(*event)) }
+func (h *eventHeap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	e := old[n-1]
+	old[n-1] = nil
+	*h = old[:n-1]
+	return e
+}
+
+// Kernel is the simulation engine. It is not safe for concurrent use from
+// multiple goroutines; Procs hand control back to the kernel before it ever
+// resumes another Proc.
+type Kernel struct {
+	now    Time
+	events eventHeap
+	seq    uint64
+	procs  []*Proc
+
+	// nEvents counts executed events, for diagnostics and runaway guards.
+	nEvents uint64
+	// MaxEvents aborts the run (panic) when exceeded; 0 means no limit.
+	MaxEvents uint64
+}
+
+// New returns an empty kernel at time 0.
+func New() *Kernel {
+	return &Kernel{}
+}
+
+// Now returns the current virtual time.
+func (k *Kernel) Now() Time { return k.now }
+
+// Events returns the number of events executed so far.
+func (k *Kernel) Events() uint64 { return k.nEvents }
+
+// Schedule runs fn at now+delay. Events scheduled for the same instant run
+// in the order they were scheduled.
+func (k *Kernel) Schedule(delay Time, fn func()) {
+	k.seq++
+	heap.Push(&k.events, &event{at: k.now + delay, seq: k.seq, fn: fn})
+}
+
+// ScheduleAt runs fn at absolute time at, which must not be in the past.
+func (k *Kernel) ScheduleAt(at Time, fn func()) {
+	if at < k.now {
+		panic(fmt.Sprintf("sim: ScheduleAt(%d) in the past (now=%d)", at, k.now))
+	}
+	k.seq++
+	heap.Push(&k.events, &event{at: at, seq: k.seq, fn: fn})
+}
+
+// Run executes events until the queue is empty or every Proc has finished.
+// It returns the final virtual time.
+func (k *Kernel) Run() Time {
+	return k.RunUntil(^Time(0))
+}
+
+// RunUntil executes events with timestamps <= limit. Events beyond the
+// limit remain queued.
+func (k *Kernel) RunUntil(limit Time) Time {
+	for len(k.events) > 0 {
+		e := k.events[0]
+		if e.at > limit {
+			break
+		}
+		heap.Pop(&k.events)
+		if e.at > k.now {
+			k.now = e.at
+		}
+		k.nEvents++
+		if k.MaxEvents != 0 && k.nEvents > k.MaxEvents {
+			panic(fmt.Sprintf("sim: event budget exceeded (%d events, now=%d)", k.nEvents, k.now))
+		}
+		e.fn()
+	}
+	return k.now
+}
+
+// Idle reports whether no events are pending.
+func (k *Kernel) Idle() bool { return len(k.events) == 0 }

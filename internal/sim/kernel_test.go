@@ -1,0 +1,230 @@
+package sim
+
+import "testing"
+
+func TestScheduleOrdering(t *testing.T) {
+	k := New()
+	var got []int
+	k.Schedule(10, func() { got = append(got, 2) })
+	k.Schedule(5, func() { got = append(got, 1) })
+	k.Schedule(10, func() { got = append(got, 3) }) // same time: insertion order
+	k.Run()
+	if len(got) != 3 || got[0] != 1 || got[1] != 2 || got[2] != 3 {
+		t.Fatalf("order = %v, want [1 2 3]", got)
+	}
+	if k.Now() != 10 {
+		t.Fatalf("now = %d, want 10", k.Now())
+	}
+}
+
+func TestScheduleNested(t *testing.T) {
+	k := New()
+	var fired []Time
+	k.Schedule(1, func() {
+		fired = append(fired, k.Now())
+		k.Schedule(4, func() { fired = append(fired, k.Now()) })
+	})
+	k.Run()
+	if len(fired) != 2 || fired[0] != 1 || fired[1] != 5 {
+		t.Fatalf("fired = %v, want [1 5]", fired)
+	}
+}
+
+func TestRunUntil(t *testing.T) {
+	k := New()
+	ran := 0
+	k.Schedule(5, func() { ran++ })
+	k.Schedule(50, func() { ran++ })
+	k.RunUntil(10)
+	if ran != 1 {
+		t.Fatalf("ran = %d, want 1 (second event beyond limit)", ran)
+	}
+	k.Run()
+	if ran != 2 {
+		t.Fatalf("ran = %d, want 2 after full Run", ran)
+	}
+}
+
+func TestScheduleAtPastPanics(t *testing.T) {
+	k := New()
+	k.Schedule(10, func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("ScheduleAt in the past did not panic")
+			}
+		}()
+		k.ScheduleAt(5, func() {})
+	})
+	k.Run()
+}
+
+func TestProcWait(t *testing.T) {
+	k := New()
+	var trace []Time
+	k.Spawn("p", func(p *Proc) {
+		trace = append(trace, p.Now())
+		p.Wait(10)
+		trace = append(trace, p.Now())
+		p.Wait(7)
+		trace = append(trace, p.Now())
+	})
+	k.Run()
+	want := []Time{0, 10, 17}
+	for i := range want {
+		if trace[i] != want[i] {
+			t.Fatalf("trace = %v, want %v", trace, want)
+		}
+	}
+}
+
+func TestProcInterleavingDeterministic(t *testing.T) {
+	run := func() []string {
+		k := New()
+		var log []string
+		k.Spawn("a", func(p *Proc) {
+			for i := 0; i < 3; i++ {
+				log = append(log, "a")
+				p.Wait(10)
+			}
+		})
+		k.Spawn("b", func(p *Proc) {
+			for i := 0; i < 3; i++ {
+				log = append(log, "b")
+				p.Wait(10)
+			}
+		})
+		k.Run()
+		return log
+	}
+	first := run()
+	for trial := 0; trial < 10; trial++ {
+		again := run()
+		for i := range first {
+			if first[i] != again[i] {
+				t.Fatalf("nondeterministic interleaving: %v vs %v", first, again)
+			}
+		}
+	}
+}
+
+func TestBlockWake(t *testing.T) {
+	k := New()
+	var p1 *Proc
+	order := []string{}
+	p1 = k.Spawn("sleeper", func(p *Proc) {
+		p.Block()
+		order = append(order, "woke")
+	})
+	k.Spawn("waker", func(p *Proc) {
+		p.Wait(100)
+		order = append(order, "waking")
+		p1.Wake(5)
+	})
+	k.Run()
+	if k.Now() != 105 {
+		t.Fatalf("now = %d, want 105", k.Now())
+	}
+	if len(order) != 2 || order[0] != "waking" || order[1] != "woke" {
+		t.Fatalf("order = %v", order)
+	}
+}
+
+func TestBlockTimeout(t *testing.T) {
+	k := New()
+	var wokenEarly, timedOut bool
+	var p1, p2 *Proc
+	p1 = k.Spawn("timeout", func(p *Proc) {
+		timedOut = !p.BlockTimeout(50)
+	})
+	p2 = k.Spawn("early", func(p *Proc) {
+		wokenEarly = p.BlockTimeout(1000)
+	})
+	k.Spawn("waker", func(p *Proc) {
+		p.Wait(10)
+		p2.Wake(0)
+	})
+	k.Run()
+	_ = p1
+	if !timedOut {
+		t.Error("first proc should have timed out")
+	}
+	if !wokenEarly {
+		t.Error("second proc should have been woken before timeout")
+	}
+	// A stale timeout after an early wake must not fire: kernel time ends at
+	// the timeout horizon but nothing else happens.
+	if k.Now() != 1000 {
+		t.Fatalf("now = %d, want 1000 (stale timer drains quietly)", k.Now())
+	}
+}
+
+func TestWakeUnblockedPanics(t *testing.T) {
+	k := New()
+	p1 := k.Spawn("p1", func(p *Proc) { p.Wait(1000) })
+	k.Spawn("p2", func(p *Proc) {
+		defer func() {
+			if recover() == nil {
+				t.Error("Wake on unblocked proc did not panic")
+			}
+		}()
+		p1.Wake(0)
+	})
+	k.Run()
+}
+
+func TestWaitGroup(t *testing.T) {
+	k := New()
+	var wg WaitGroup
+	wg.Add(3)
+	done := Time(0)
+	for i := 0; i < 3; i++ {
+		d := Time((i + 1) * 100)
+		k.Spawn("w", func(p *Proc) {
+			p.Wait(d)
+			wg.Done()
+		})
+	}
+	k.Spawn("join", func(p *Proc) {
+		wg.WaitFor(p)
+		done = p.Now()
+	})
+	k.Run()
+	if done != 300 {
+		t.Fatalf("join completed at %d, want 300", done)
+	}
+}
+
+func TestEventBudget(t *testing.T) {
+	k := New()
+	k.MaxEvents = 100
+	var bomb func()
+	bomb = func() { k.Schedule(1, bomb) }
+	k.Schedule(1, bomb)
+	defer func() {
+		if recover() == nil {
+			t.Error("runaway event loop did not trip MaxEvents")
+		}
+	}()
+	k.Run()
+}
+
+func TestYield(t *testing.T) {
+	k := New()
+	var log []string
+	k.Spawn("a", func(p *Proc) {
+		log = append(log, "a1")
+		p.Yield()
+		log = append(log, "a2")
+	})
+	k.Spawn("b", func(p *Proc) {
+		log = append(log, "b1")
+	})
+	k.Run()
+	// a starts first, yields, b runs, then a resumes.
+	want := []string{"a1", "b1", "a2"}
+	for i := range want {
+		if log[i] != want[i] {
+			t.Fatalf("log = %v, want %v", log, want)
+		}
+	}
+}

@@ -1,0 +1,157 @@
+package sim
+
+import "fmt"
+
+// Proc is a simulated thread of execution. Its body runs on a dedicated
+// goroutine, but the kernel guarantees that at most one Proc (or event
+// callback) executes at a time: a Proc runs only between a resume signal
+// from the kernel and its next call to a blocking primitive (Wait, Block,
+// or returning from the body). Simulation state therefore needs no locks.
+type Proc struct {
+	k    *Kernel
+	name string
+	id   int
+
+	resume chan struct{}
+	yield  chan struct{}
+
+	blocked  bool // waiting for an explicit Wake
+	finished bool
+
+	// wakeSeq guards against stale timed wakeups after an early Wake.
+	wakeSeq uint64
+}
+
+// Spawn creates a Proc running body, scheduled to start at the current
+// time (after already-queued events for this instant).
+func (k *Kernel) Spawn(name string, body func(p *Proc)) *Proc {
+	p := &Proc{
+		k:      k,
+		name:   name,
+		id:     len(k.procs),
+		resume: make(chan struct{}),
+		yield:  make(chan struct{}),
+	}
+	k.procs = append(k.procs, p)
+	go func() {
+		<-p.resume // wait for first dispatch
+		body(p)
+		p.finished = true
+		p.yield <- struct{}{}
+	}()
+	k.Schedule(0, func() { k.dispatch(p) })
+	return p
+}
+
+// dispatch transfers control to p and blocks the kernel until p yields.
+func (k *Kernel) dispatch(p *Proc) {
+	if p.finished {
+		return
+	}
+	p.resume <- struct{}{}
+	<-p.yield
+}
+
+// Name returns the Proc's name.
+func (p *Proc) Name() string { return p.name }
+
+// ID returns the Proc's kernel-assigned index.
+func (p *Proc) ID() int { return p.id }
+
+// Kernel returns the owning kernel.
+func (p *Proc) Kernel() *Kernel { return p.k }
+
+// Now returns the current virtual time.
+func (p *Proc) Now() Time { return p.k.now }
+
+// Wait advances this Proc's execution by d cycles of virtual time. Other
+// events and Procs run in the interim.
+func (p *Proc) Wait(d Time) {
+	p.wakeSeq++
+	p.k.Schedule(d, func() { p.k.dispatch(p) })
+	p.yieldToKernel()
+}
+
+// Block suspends the Proc until some agent calls Wake. Typically the Proc
+// registers itself on a wait list before calling Block.
+func (p *Proc) Block() {
+	p.blocked = true
+	p.wakeSeq++
+	p.yieldToKernel()
+}
+
+// BlockTimeout suspends the Proc until Wake or until d cycles elapse,
+// whichever comes first. It returns true if woken explicitly, false on
+// timeout.
+func (p *Proc) BlockTimeout(d Time) bool {
+	p.blocked = true
+	p.wakeSeq++
+	seq := p.wakeSeq
+	timedOut := false
+	p.k.Schedule(d, func() {
+		if p.blocked && p.wakeSeq == seq {
+			timedOut = true
+			p.blocked = false
+			p.k.dispatch(p)
+		}
+	})
+	p.yieldToKernel()
+	return !timedOut
+}
+
+// Wake schedules a blocked Proc to resume after delay cycles. Waking a
+// Proc that is not blocked is a programming error and panics, since it
+// would corrupt the single-runnable invariant.
+func (p *Proc) Wake(delay Time) {
+	if !p.blocked {
+		panic(fmt.Sprintf("sim: Wake(%s) but proc is not blocked", p.name))
+	}
+	p.blocked = false
+	p.wakeSeq++
+	p.k.Schedule(delay, func() { p.k.dispatch(p) })
+}
+
+// Blocked reports whether the Proc is suspended waiting for Wake.
+func (p *Proc) Blocked() bool { return p.blocked }
+
+// Finished reports whether the Proc's body has returned.
+func (p *Proc) Finished() bool { return p.finished }
+
+// Yield lets all other events at the current instant run before resuming.
+func (p *Proc) Yield() { p.Wait(0) }
+
+func (p *Proc) yieldToKernel() {
+	p.yield <- struct{}{}
+	<-p.resume
+}
+
+// WaitGroup counts outstanding Procs and lets a coordinator Proc join them.
+type WaitGroup struct {
+	n      int
+	waiter *Proc
+}
+
+// Add registers n more outstanding Procs.
+func (w *WaitGroup) Add(n int) { w.n += n }
+
+// Done marks one Proc complete, waking the waiter when the count hits zero.
+func (w *WaitGroup) Done() {
+	w.n--
+	if w.n == 0 && w.waiter != nil {
+		p := w.waiter
+		w.waiter = nil
+		p.Wake(0)
+	}
+}
+
+// WaitFor blocks p until the count reaches zero.
+func (w *WaitGroup) WaitFor(p *Proc) {
+	if w.n == 0 {
+		return
+	}
+	if w.waiter != nil {
+		panic("sim: WaitGroup supports a single waiter")
+	}
+	w.waiter = p
+	p.Block()
+}

@@ -1,0 +1,181 @@
+// Package ssb implements the Synchronization State Buffer baseline (Zhu et
+// al., ISCA'07) as characterized in the paper's Sections II and IV-A: a
+// dedicated lock table at each home memory controller supporting fine-grain
+// reader-writer locks. All operations are remote (request/reply round
+// trips), there is no requestor queue — contenders poll remotely with
+// backoff — and readers are preferred, so writers can starve and the retry
+// traffic saturates scarce inter-chip links (Figure 9b).
+package ssb
+
+import (
+	"fairrw/internal/machine"
+	"fairrw/internal/memmodel"
+	"fairrw/internal/sim"
+	"fairrw/internal/topo"
+)
+
+// Options tunes the SSB baseline.
+type Options struct {
+	// EntriesPerBank bounds each home controller's table (0 = 512).
+	EntriesPerBank int
+	// Backoff is the remote retry interval after a NACK (0 = 100 cycles).
+	Backoff sim.Time
+	// BankLat is the SSB lookup latency at the controller (0 = 6 cycles).
+	BankLat sim.Time
+}
+
+// Stats counts SSB protocol events.
+type Stats struct {
+	Requests  uint64
+	Grants    uint64
+	Nacks     uint64
+	Releases  uint64
+	TableFull uint64
+}
+
+type bankEntry struct {
+	writeHeld bool
+	ownerTid  uint64
+	readers   int
+}
+
+type bank struct {
+	entries map[memmodel.Addr]*bankEntry
+	cap     int
+}
+
+// Device is the SSB lock unit; it implements machine.LockDevice.
+type Device struct {
+	M     *machine.Machine
+	Opt   Options
+	banks []*bank
+
+	attempt map[uint64]uint64 // per-thread retry counter for jitter
+
+	Stats Stats
+}
+
+// New builds the SSB device for m and installs it as the lock device.
+func New(m *machine.Machine, opt Options) *Device {
+	if opt.EntriesPerBank == 0 {
+		opt.EntriesPerBank = 512
+	}
+	if opt.Backoff == 0 {
+		opt.Backoff = 100
+	}
+	if opt.BankLat == 0 {
+		opt.BankLat = 6
+	}
+	d := &Device{M: m, Opt: opt, attempt: make(map[uint64]uint64)}
+	d.banks = make([]*bank, m.P.NumMem)
+	for i := range d.banks {
+		d.banks[i] = &bank{entries: make(map[memmodel.Addr]*bankEntry), cap: opt.EntriesPerBank}
+	}
+	m.Lock = d
+	return d
+}
+
+// roundTrip performs a remote operation at addr's home bank: the request
+// travels to the controller, op runs there, and the reply returns. The
+// calling proc blocks for the full latency.
+func (d *Device) roundTrip(p *sim.Proc, core int, addr memmodel.Addr, op func(b *bank) bool) bool {
+	home := d.M.Mem.HomeOf(addr)
+	src, dst := topo.Core(core), topo.Mem(home)
+	ok := false
+	done := false
+	d.M.Net.Send(src, dst, func() {
+		d.M.K.Schedule(d.Opt.BankLat, func() {
+			ok = op(d.banks[home])
+			// Reply message.
+			d.M.Net.Send(dst, src, func() {
+				done = true
+				if p.Blocked() {
+					p.Wake(0)
+				}
+			})
+		})
+	})
+	for !done {
+		p.Block()
+	}
+	return ok
+}
+
+// Acq requests the lock: one full remote round trip per attempt.
+func (d *Device) Acq(p *sim.Proc, core int, tid uint64, addr memmodel.Addr, write bool) bool {
+	d.Stats.Requests++
+	granted := d.roundTrip(p, core, addr, func(b *bank) bool {
+		e := b.entries[addr]
+		if e == nil {
+			if len(b.entries) >= b.cap {
+				d.Stats.TableFull++
+				return false
+			}
+			e = &bankEntry{}
+			b.entries[addr] = e
+		}
+		if write {
+			if e.writeHeld || e.readers > 0 {
+				return false
+			}
+			e.writeHeld = true
+			e.ownerTid = tid
+			return true
+		}
+		// Reader preference: join whenever no writer holds (even if writers
+		// are retrying — the SSB keeps no queue to know about them).
+		if e.writeHeld {
+			return false
+		}
+		e.readers++
+		return true
+	})
+	if granted {
+		d.Stats.Grants++
+	} else {
+		d.Stats.Nacks++
+	}
+	return granted
+}
+
+// Rel releases the lock. The release message is fire-and-forget: the
+// thread does not wait for an acknowledgement (the SSB needs none), so
+// only the one-way latency sits on the hand-off critical path.
+func (d *Device) Rel(p *sim.Proc, core int, tid uint64, addr memmodel.Addr, write bool) bool {
+	d.Stats.Releases++
+	home := d.M.Mem.HomeOf(addr)
+	d.M.Net.Send(topo.Core(core), topo.Mem(home), func() {
+		d.M.K.Schedule(d.Opt.BankLat, func() {
+			b := d.banks[home]
+			e := b.entries[addr]
+			if e == nil {
+				return // idempotent
+			}
+			if write {
+				e.writeHeld = false
+			} else if e.readers > 0 {
+				e.readers--
+			}
+			if !e.writeHeld && e.readers == 0 {
+				delete(b.entries, addr)
+			}
+		})
+	})
+	p.Wait(d.M.P.LCULat) // local issue cost
+	return true
+}
+
+// WaitEvent is the NACK backoff: the SSB keeps no local state to spin on,
+// so contenders simply wait and re-poll remotely. A deterministic
+// per-thread, per-attempt jitter decorrelates the pollers; without it the
+// deterministic simulator phase-locks them and one contender can lose
+// every round indefinitely, which real-system timing noise prevents.
+func (d *Device) WaitEvent(p *sim.Proc, core int, tid uint64, addr memmodel.Addr, timeout sim.Time) {
+	b := d.Opt.Backoff
+	if timeout != 0 && timeout < b {
+		b = timeout
+	}
+	d.attempt[tid]++
+	h := (tid*2654435761 + d.attempt[tid]*40503) % uint64(b)
+	p.Wait(b/2 + sim.Time(h))
+}

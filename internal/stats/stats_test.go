@@ -1,0 +1,108 @@
+package stats
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func almost(a, b float64) bool { return math.Abs(a-b) < 1e-9 }
+
+func TestMean(t *testing.T) {
+	if !almost(Mean([]float64{1, 2, 3, 4}), 2.5) {
+		t.Fatal("mean wrong")
+	}
+	if Mean(nil) != 0 {
+		t.Fatal("empty mean should be 0")
+	}
+}
+
+func TestStdDev(t *testing.T) {
+	if !almost(StdDev([]float64{2, 4, 4, 4, 5, 5, 7, 9}), math.Sqrt(32.0/7.0)) {
+		t.Fatal("stddev wrong")
+	}
+	if StdDev([]float64{5}) != 0 {
+		t.Fatal("single-sample stddev should be 0")
+	}
+}
+
+func TestCI95(t *testing.T) {
+	// n=5, df=4, t=2.776
+	xs := []float64{10, 12, 14, 16, 18}
+	want := 2.776 * StdDev(xs) / math.Sqrt(5)
+	if !almost(CI95(xs), want) {
+		t.Fatalf("CI95 = %v, want %v", CI95(xs), want)
+	}
+	if CI95([]float64{1}) != 0 {
+		t.Fatal("CI of one sample should be 0")
+	}
+}
+
+func TestGeoMean(t *testing.T) {
+	if !almost(GeoMean([]float64{1, 4}), 2) {
+		t.Fatal("geomean wrong")
+	}
+}
+
+func TestMedian(t *testing.T) {
+	if Median([]float64{3, 1, 2}) != 2 {
+		t.Fatal("odd median wrong")
+	}
+	if Median([]float64{4, 1, 2, 3}) != 2.5 {
+		t.Fatal("even median wrong")
+	}
+}
+
+func TestSpeedup(t *testing.T) {
+	if Speedup(200, 100) != 2 {
+		t.Fatal("speedup wrong")
+	}
+	if !math.IsInf(Speedup(1, 0), 1) {
+		t.Fatal("zero denominator should be +inf")
+	}
+}
+
+func TestMinMax(t *testing.T) {
+	lo, hi := MinMax([]float64{3, -1, 7, 2})
+	if lo != -1 || hi != 7 {
+		t.Fatalf("minmax = %v,%v", lo, hi)
+	}
+}
+
+// Property: mean is bounded by min and max.
+func TestMeanBoundedProperty(t *testing.T) {
+	f := func(xs []float64) bool {
+		clean := xs[:0]
+		for _, x := range xs {
+			if !math.IsNaN(x) && !math.IsInf(x, 0) && math.Abs(x) < 1e12 {
+				clean = append(clean, x)
+			}
+		}
+		if len(clean) == 0 {
+			return true
+		}
+		lo, hi := MinMax(clean)
+		m := Mean(clean)
+		return m >= lo-1e-6 && m <= hi+1e-6
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: stddev is non-negative and zero for constant slices.
+func TestStdDevProperty(t *testing.T) {
+	f := func(v float64, n uint8) bool {
+		if math.IsNaN(v) || math.IsInf(v, 0) || math.Abs(v) > 1e12 {
+			return true
+		}
+		xs := make([]float64, int(n%20)+2)
+		for i := range xs {
+			xs[i] = v
+		}
+		return almost(StdDev(xs), 0)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,234 @@
+package stm
+
+import (
+	"fairrw/internal/machine"
+	"fairrw/internal/swlocks"
+)
+
+// objMode is one access-set element with its commit lock mode.
+type objMode struct {
+	o     *Obj
+	write bool
+}
+
+// lockOps abstracts the per-object reader-writer trylock used by the
+// lock-based commit: software RW words (swonly) or the machine's hardware
+// lock device (lcu/ssb).
+type lockOps interface {
+	// acquireSet locks every element (reads shared, writes exclusive) or
+	// nothing, returning success.
+	acquireSet(c *machine.Ctx, set []objMode) bool
+	// releaseSet unlocks the first n elements of the set.
+	releaseSet(c *machine.Ctx, set []objMode, n int)
+}
+
+// swLockOps uses TL2/TLRW-style single-word RW locks at object headers,
+// acquired sequentially with CAS in canonical order. Reader acquisition is
+// an atomic RMW on a shared line: the visible-reader congestion of
+// Section IV-B. The flat Compute charges model the lock-function
+// instruction overhead (calls, barriers) of the software path.
+type swLockOps struct{}
+
+const swLockOverhead = 15 // cycles of instructions around each lock op
+
+func (swLockOps) acquireSet(c *machine.Ctx, set []objMode) bool {
+	for i, om := range set {
+		c.Compute(swLockOverhead)
+		var ok bool
+		if om.write {
+			ok = swlocks.AtAddr(om.o.hdr).TryWrite(c)
+		} else {
+			ok = swlocks.AtAddr(om.o.hdr).TryRead(c)
+		}
+		if !ok {
+			(swLockOps{}).releaseSet(c, set, i)
+			return false
+		}
+	}
+	return true
+}
+
+func (swLockOps) releaseSet(c *machine.Ctx, set []objMode, n int) {
+	for i := n - 1; i >= 0; i-- {
+		c.Compute(swLockOverhead)
+		if set[i].write {
+			swlocks.AtAddr(set[i].o.hdr).UnlockWrite(c)
+		} else {
+			swlocks.AtAddr(set[i].o.hdr).UnlockRead(c)
+		}
+	}
+}
+
+// hwLockOps drives the installed hardware lock device (LCU or SSB). The
+// acq ISA primitive is non-blocking (Section III), so the commit issues
+// the requests for the whole access set back to back — each costs only the
+// LCU access — and then collects the grants, overlapping the request round
+// trips instead of serializing them. Stragglers use bounded trylocks; any
+// failure releases everything (the STM trylock usage of Section IV-B).
+type hwLockOps struct{}
+
+// hwCollectRetries bounds how long the collect phase waits for straggler
+// grants. Failing fast matters: a committer holding granted locks while it
+// waits inflates everyone else's hold times.
+const (
+	hwCollectRetries = 16
+	hwCollectSlice   = 80 // cycles per straggler wait
+)
+
+func (hwLockOps) acquireSet(c *machine.Ctx, set []objMode) bool {
+	got := make([]bool, len(set))
+	// Phase 1: pipeline the requests (acq is non-blocking).
+	for i, om := range set {
+		got[i] = c.Acq(om.o.hdr, om.write)
+	}
+	// Phase 2: collect grants round-robin with a bounded total budget.
+	for spin := 0; ; spin++ {
+		pending := 0
+		for i, om := range set {
+			if !got[i] {
+				got[i] = c.Acq(om.o.hdr, om.write)
+				if !got[i] {
+					pending++
+				}
+			}
+			_ = om
+		}
+		if pending == 0 {
+			return true
+		}
+		if spin >= hwCollectRetries {
+			(hwLockOps{}).releaseHeld(c, set, got)
+			return false
+		}
+		c.Compute(hwCollectSlice)
+	}
+}
+
+// releaseHeld unlocks the granted subset after a failed collect, then
+// actively drains the still-queued requests: it keeps polling each one and
+// releases it the moment it is granted. Abandoning them instead would be
+// correct (the grant timer skips them, Section III-C) but injects dead
+// timeout cycles into every queue the transaction touched.
+func (hwLockOps) releaseHeld(c *machine.Ctx, set []objMode, got []bool) {
+	for i, om := range set {
+		if got[i] {
+			c.HwUnlock(om.o.hdr, om.write)
+		}
+	}
+	for {
+		pending := 0
+		for i, om := range set {
+			if got[i] {
+				continue
+			}
+			if c.Acq(om.o.hdr, om.write) {
+				c.HwUnlock(om.o.hdr, om.write)
+				got[i] = true
+				continue
+			}
+			pending++
+		}
+		if pending == 0 {
+			return
+		}
+		c.Compute(hwCollectSlice)
+	}
+}
+
+func (hwLockOps) releaseSet(c *machine.Ctx, set []objMode, n int) {
+	for i := n - 1; i >= 0; i-- {
+		c.HwUnlock(set[i].o.hdr, set[i].write)
+	}
+}
+
+// lockEngine is the visible-reader, lock-based OSTM commit: acquire RW
+// locks over the whole access set in canonical order (writes exclusive,
+// reads shared), validate versions, write back, release.
+type lockEngine struct {
+	name string
+	ops  lockOps
+}
+
+func (e *lockEngine) Name() string { return e.name }
+
+func (e *lockEngine) Commit(t *Txn) bool {
+	objs := sortedObjs(t)
+	set := make([]objMode, len(objs))
+	for i, o := range objs {
+		_, w := t.writes[o]
+		set[i] = objMode{o, w}
+	}
+	if !e.ops.acquireSet(t.c, set) {
+		return false
+	}
+	// Validate: every opened object still at its recorded version.
+	for _, o := range sortedReads(t) {
+		t.c.Load(o.ver)
+		if o.version != t.reads[o] || o.version&1 == 1 {
+			e.ops.releaseSet(t.c, set, len(set))
+			return false
+		}
+	}
+	writeBack(t)
+	e.ops.releaseSet(t.c, set, len(set))
+	return true
+}
+
+// fraserEngine is the nonblocking commit with invisible readers: CAS
+// ownership of the write set, validate the read set, write back, release.
+// Read-only transactions validate without writing anything — the source of
+// its speed and of its privatization unsafety.
+type fraserEngine struct{}
+
+func (e *fraserEngine) Name() string { return "fraser" }
+
+func (e *fraserEngine) Commit(t *Txn) bool {
+	objs := make([]*Obj, 0, len(t.writes))
+	for o := range t.writes {
+		objs = append(objs, o)
+	}
+	sortByID(objs)
+	acquired := 0
+	rollback := func() {
+		for i := 0; i < acquired; i++ {
+			t.c.Store(objs[i].hdr, 0)
+		}
+	}
+	for _, o := range objs {
+		if !t.c.CAS(o.hdr, 0, t.c.TID) {
+			rollback()
+			return false
+		}
+		acquired++
+	}
+	for _, o := range sortedReads(t) {
+		if _, w := t.writes[o]; w {
+			continue // acquisition already protects it; version checked below
+		}
+		t.c.Load(o.ver)
+		if o.version != t.reads[o] || o.version&1 == 1 {
+			rollback()
+			return false
+		}
+	}
+	// Acquired writes: confirm we saw the latest version at open.
+	for _, o := range objs {
+		if o.version != t.reads[o] {
+			rollback()
+			return false
+		}
+	}
+	writeBack(t)
+	for _, o := range objs {
+		t.c.Store(o.hdr, 0)
+	}
+	return true
+}
+
+func sortByID(objs []*Obj) {
+	for i := 1; i < len(objs); i++ {
+		for j := i; j > 0 && objs[j].id < objs[j-1].id; j-- {
+			objs[j], objs[j-1] = objs[j-1], objs[j]
+		}
+	}
+}

@@ -1,0 +1,312 @@
+// Package stm implements an object-based software transactional memory in
+// the style of Fraser's OSTM, with three interchangeable commit engines
+// (Section IV-B):
+//
+//   - swonly: lock-based commit with per-object software reader-writer
+//     trylocks and visible readers — read sets are read-locked during
+//     commit, which congests hot objects such as a tree root.
+//   - lcu / ssb: the same lock-based commit, but the per-object locks are
+//     the machine's hardware lock device (LCU+LRT, or the SSB baseline).
+//   - fraser: nonblocking commit with invisible readers (no read locking;
+//     commit-time version validation). Faster, but does not support the
+//     privatization idiom — the paper's "unsafe" reference point.
+//
+// Every shared access is charged through the simulated memory system, so
+// the coherence cost of visible readers is measured, not asserted.
+package stm
+
+import (
+	"fmt"
+	"sort"
+
+	"fairrw/internal/machine"
+	"fairrw/internal/memmodel"
+	"fairrw/internal/sim"
+)
+
+// Obj is one transactional object: a header word (lock), a version word,
+// and a payload of 8-byte words.
+type Obj struct {
+	id     int
+	hdr    memmodel.Addr
+	ver    memmodel.Addr
+	data   memmodel.Addr
+	nWords int
+
+	version uint64
+	vals    []uint64
+}
+
+// ID returns the object's table index (0 is reserved as nil).
+func (o *Obj) ID() int { return o.id }
+
+// TM is one transactional heap bound to a machine.
+type TM struct {
+	M      *machine.Machine
+	engine Engine
+	objs   []*Obj
+	// freed recycles objects allocated by aborted transactions, keyed by
+	// payload size. Without it an abort storm leaks simulated memory and
+	// real heap alike.
+	freed map[int][]*Obj
+
+	// Stats
+	Commits, Aborts uint64
+	// ExecCycles and CommitCycles dissect transaction time (Figure 11).
+	ExecCycles, CommitCycles sim.Time
+
+	// StepBudget bounds reads per transaction attempt; a doomed attempt
+	// walking inconsistent pointers terminates and retries (opacity guard).
+	StepBudget int
+}
+
+// New creates a TM on m using the named engine: "swonly", "lcu", "ssb"
+// (these two require the corresponding device installed on m), "fraser".
+func New(m *machine.Machine, engine string) *TM {
+	tm := &TM{M: m, StepBudget: 100_000, freed: make(map[int][]*Obj)}
+	tm.objs = []*Obj{nil} // id 0 = nil
+	switch engine {
+	case "swonly":
+		tm.engine = &lockEngine{name: "swonly", ops: swLockOps{}}
+	case "lcu", "ssb":
+		tm.engine = &lockEngine{name: engine, ops: hwLockOps{}}
+	case "fraser":
+		tm.engine = &fraserEngine{}
+	default:
+		panic(fmt.Sprintf("stm: unknown engine %q", engine))
+	}
+	return tm
+}
+
+// EngineName reports the active commit engine.
+func (tm *TM) EngineName() string { return tm.engine.Name() }
+
+// NewObj allocates a transactional object with nWords payload words.
+func (tm *TM) NewObj(nWords int) *Obj {
+	o := &Obj{
+		id:     len(tm.objs),
+		hdr:    tm.M.Mem.AllocLine(),
+		data:   tm.M.Mem.Alloc(memmodel.Addr(nWords)*8, 64),
+		nWords: nWords,
+		vals:   make([]uint64, nWords),
+	}
+	o.ver = o.hdr + 8 // version shares the header line
+	tm.objs = append(tm.objs, o)
+	return o
+}
+
+// Get returns the object with the given id (nil for id 0).
+func (tm *TM) Get(id int) *Obj {
+	if id == 0 {
+		return nil
+	}
+	return tm.objs[id]
+}
+
+// RawRead reads a committed word without simulation cost (setup/checks).
+func (o *Obj) RawRead(w int) uint64 { return o.vals[w] }
+
+// RawWrite writes a committed word without simulation cost (setup only).
+func (o *Obj) RawWrite(w int, v uint64) { o.vals[w] = v }
+
+// Txn is one transaction attempt.
+type Txn struct {
+	tm *TM
+	c  *machine.Ctx
+
+	reads   map[*Obj]uint64 // object -> version at first open
+	writes  map[*Obj][]uint64
+	allocs  []*Obj // objects created by this attempt (recycled on abort)
+	aborted bool
+	steps   int
+}
+
+// Aborted reports whether this attempt has been doomed (conflict or step
+// budget); subsequent reads return zero and the attempt will retry.
+func (t *Txn) Aborted() bool { return t.aborted }
+
+// Abort dooms the current attempt explicitly.
+func (t *Txn) Abort() { t.aborted = true }
+
+// Read returns word w of o within the transaction.
+func (t *Txn) Read(o *Obj, w int) uint64 {
+	if t.aborted || o == nil {
+		t.aborted = true
+		return 0
+	}
+	t.steps++
+	if t.steps > t.tm.StepBudget {
+		t.aborted = true
+		return 0
+	}
+	if sh, ok := t.writes[o]; ok {
+		t.c.Compute(1)
+		return sh[w]
+	}
+	if _, ok := t.reads[o]; !ok {
+		t.c.Load(o.ver) // open-for-read: fetch the version word
+		if o.version&1 == 1 {
+			// A committer is mid-writeback on this object: the data would
+			// be torn. Doom the attempt now.
+			t.aborted = true
+			return 0
+		}
+		t.reads[o] = o.version
+		t.c.Compute(12) // open-for-read bookkeeping instructions
+	}
+	t.c.Load(o.data + memmodel.Addr(w)*8)
+	return o.vals[w]
+}
+
+// ReadObj reads word w and resolves it as an object reference.
+func (t *Txn) ReadObj(o *Obj, w int) *Obj {
+	return t.tm.Get(int(t.Read(o, w)))
+}
+
+// Write sets word w of o within the transaction (redo-log shadow copy).
+func (t *Txn) Write(o *Obj, w int, v uint64) {
+	if t.aborted || o == nil {
+		t.aborted = true
+		return
+	}
+	sh, ok := t.writes[o]
+	if !ok {
+		// Open for write: copy the payload into a shadow.
+		if _, seen := t.reads[o]; !seen {
+			t.c.Load(o.ver)
+			if o.version&1 == 1 {
+				t.aborted = true
+				return
+			}
+			t.reads[o] = o.version
+		}
+		sh = make([]uint64, o.nWords)
+		copy(sh, o.vals)
+		t.c.Load(o.data) // fetch the object payload
+		t.c.Compute(20)  // open-for-write bookkeeping + shadow copy
+		t.writes[o] = sh
+	}
+	t.c.Compute(1)
+	sh[w] = v
+}
+
+// Alloc creates a new object inside the transaction. Fresh objects are
+// private until commit publishes a reference, so they join the write set;
+// if the attempt aborts they are recycled.
+func (t *Txn) Alloc(nWords int) *Obj {
+	var o *Obj
+	if pool := t.tm.freed[nWords]; len(pool) > 0 {
+		o = pool[len(pool)-1]
+		t.tm.freed[nWords] = pool[:len(pool)-1]
+	} else {
+		o = t.tm.NewObj(nWords)
+	}
+	t.reads[o] = o.version
+	t.writes[o] = make([]uint64, nWords)
+	t.allocs = append(t.allocs, o)
+	t.c.Compute(10) // allocator cost
+	return o
+}
+
+// Atomic runs body as a transaction, retrying on conflict, and returns the
+// number of attempts it took.
+func (tm *TM) Atomic(c *machine.Ctx, body func(t *Txn)) int {
+	attempts := 0
+	backoff := 0
+	for {
+		attempts++
+		t := &Txn{tm: tm, c: c, reads: make(map[*Obj]uint64), writes: make(map[*Obj][]uint64)}
+		t0 := c.P.Now()
+		body(t)
+		t1 := c.P.Now()
+		ok := false
+		if !t.aborted {
+			ok = tm.engine.Commit(t)
+		}
+		t2 := c.P.Now()
+		tm.ExecCycles += t1 - t0
+		tm.CommitCycles += t2 - t1
+		if ok {
+			tm.Commits++
+			return attempts
+		}
+		tm.Aborts++
+		for _, o := range t.allocs {
+			tm.freed[o.nWords] = append(tm.freed[o.nWords], o)
+		}
+		swlocksBackoff(c, &backoff)
+	}
+}
+
+func swlocksBackoff(c *machine.Ctx, n *int) {
+	d := sim.Time(100) << uint(*n)
+	if d > 25600 {
+		d = 25600
+	} else {
+		*n++
+	}
+	d += sim.Time(c.TID*17) % 97
+	c.Compute(d)
+}
+
+// Engine is a commit strategy.
+type Engine interface {
+	Name() string
+	Commit(t *Txn) bool
+}
+
+// sortedObjs returns the union of read and write sets in descending id
+// order — a canonical acquisition order (deadlock-free among committers)
+// that locks the oldest, hottest objects (roots, entry points) last so
+// they are held for the shortest time.
+func sortedObjs(t *Txn) []*Obj {
+	set := make([]*Obj, 0, len(t.reads)+len(t.writes))
+	for o := range t.reads {
+		set = append(set, o)
+	}
+	for o := range t.writes {
+		if _, ok := t.reads[o]; !ok {
+			set = append(set, o)
+		}
+	}
+	sort.Slice(set, func(i, j int) bool { return set[i].id > set[j].id })
+	return set
+}
+
+// writeBack publishes the shadow copies and bumps versions, in canonical
+// id order (map iteration order would break run determinism). Call with
+// all write locks held (lock engines) or ownership CASed (fraser).
+func writeBack(t *Txn) {
+	objs := make([]*Obj, 0, len(t.writes))
+	for o := range t.writes {
+		objs = append(objs, o)
+	}
+	sort.Slice(objs, func(i, j int) bool { return objs[i].id < objs[j].id })
+	for _, o := range objs {
+		sh := t.writes[o]
+		// Odd version marks the object busy: invisible readers that open it
+		// mid-writeback (fraser engine) see the odd version and abort
+		// rather than consuming torn data. Committed versions are even.
+		o.version++
+		t.c.Store(o.ver, o.version)
+		for w := 0; w < o.nWords; w++ {
+			if sh[w] != o.vals[w] {
+				t.c.Store(o.data+memmodel.Addr(w)*8, sh[w])
+				o.vals[w] = sh[w]
+			}
+		}
+		o.version++
+		t.c.Store(o.ver, o.version)
+	}
+}
+
+// sortedReads returns the read set in id order for deterministic
+// validation.
+func sortedReads(t *Txn) []*Obj {
+	objs := make([]*Obj, 0, len(t.reads))
+	for o := range t.reads {
+		objs = append(objs, o)
+	}
+	sort.Slice(objs, func(i, j int) bool { return objs[i].id < objs[j].id })
+	return objs
+}

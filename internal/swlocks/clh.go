@@ -1,0 +1,66 @@
+package swlocks
+
+import (
+	"fairrw/internal/machine"
+	"fairrw/internal/memmodel"
+)
+
+// CLH is the Craig/Landin-Hagersten queue spinlock: like MCS it is FIFO
+// with local spinning, but each waiter spins on its *predecessor's* node
+// rather than its own, so no explicit next pointer is needed. Included as
+// an additional software baseline (surveyed in the paper's Section II).
+type CLH struct {
+	m    *machine.Machine
+	tail memmodel.Addr
+	// node state per thread: the node currently owned and the one being
+	// spun on (CLH recycles the predecessor's node on release).
+	mine map[uint64]memmodel.Addr
+	pred map[uint64]memmodel.Addr
+}
+
+// NewCLH allocates a CLH lock with an initially-released sentinel node.
+func NewCLH(m *machine.Machine) *CLH {
+	l := &CLH{
+		m:    m,
+		tail: m.Mem.AllocLine(),
+		mine: make(map[uint64]memmodel.Addr),
+		pred: make(map[uint64]memmodel.Addr),
+	}
+	sentinel := m.Mem.AllocLine() // released: word == 0
+	m.Mem.Write(l.tail, sentinel)
+	return l
+}
+
+// Name implements RWLock.
+func (l *CLH) Name() string { return "clh" }
+
+func (l *CLH) node(tid uint64) memmodel.Addr {
+	n, ok := l.mine[tid]
+	if !ok {
+		n = l.m.Mem.AllocLine()
+		l.mine[tid] = n
+	}
+	return n
+}
+
+// Lock acquires the lock (read mode is treated as write).
+func (l *CLH) Lock(c *machine.Ctx, write bool) {
+	n := l.node(c.TID)
+	c.Store(n, 1) // pending
+	pred := c.Swap(l.tail, n)
+	l.pred[c.TID] = pred
+	for {
+		v := c.Load(pred)
+		if v == 0 {
+			return
+		}
+		c.WaitChange(pred, v)
+	}
+}
+
+// Unlock releases the lock; the thread adopts its predecessor's node.
+func (l *CLH) Unlock(c *machine.Ctx, write bool) {
+	n := l.mine[c.TID]
+	c.Store(n, 0)                 // grant the successor
+	l.mine[c.TID] = l.pred[c.TID] // recycle
+}

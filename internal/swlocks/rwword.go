@@ -1,0 +1,50 @@
+package swlocks
+
+import (
+	"fairrw/internal/machine"
+	"fairrw/internal/memmodel"
+)
+
+// RWWord is the single-word reader-writer trylock used per-object by the
+// lock-based STM (sw-only engine), in the style of TL2/TLRW: the word
+// holds a writer bit plus a reader count, both updated with CAS. Reader
+// acquisition therefore costs an atomic RMW on a shared line — the visible-
+// reader congestion the paper's Section IV-B measures at hot objects.
+type RWWord struct {
+	Addr memmodel.Addr
+}
+
+const rwWriterBit = uint64(1) << 63
+
+// NewRWWord allocates an RW word on its own line.
+func NewRWWord(m *machine.Machine) *RWWord { return &RWWord{Addr: m.Mem.AllocLine()} }
+
+// AtAddr wraps an existing word address (e.g. an STM object header).
+func AtAddr(a memmodel.Addr) *RWWord { return &RWWord{Addr: a} }
+
+// TryRead attempts to take a read share; it fails if a writer holds.
+func (w *RWWord) TryRead(c *machine.Ctx) bool {
+	v := c.Load(w.Addr)
+	if v&rwWriterBit != 0 {
+		return false
+	}
+	return c.CAS(w.Addr, v, v+1)
+}
+
+// TryWrite attempts exclusive ownership; it fails if anyone holds.
+func (w *RWWord) TryWrite(c *machine.Ctx) bool {
+	return c.CAS(w.Addr, 0, rwWriterBit)
+}
+
+// UnlockRead drops a read share.
+func (w *RWWord) UnlockRead(c *machine.Ctx) {
+	c.FetchAdd(w.Addr, ^uint64(0)) // -1
+}
+
+// UnlockWrite drops exclusive ownership.
+func (w *RWWord) UnlockWrite(c *machine.Ctx) {
+	c.Store(w.Addr, 0)
+}
+
+// Held reports the raw lock word (tests only; costs a load).
+func (w *RWWord) Held(c *machine.Ctx) uint64 { return c.Load(w.Addr) }

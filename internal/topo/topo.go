@@ -1,0 +1,170 @@
+// Package topo models the system interconnect: node addressing, links with
+// propagation latency and finite bandwidth (serialization occupancy), and
+// the two topologies of the paper's evaluation — the hierarchical-switch
+// network of Model A and the 4-chip hub-connected m-CMP of Model B.
+//
+// Congestion is modelled per link: each message occupies a link for its
+// serialization time, so a retry storm (e.g. SSB remote retries crossing
+// chips) queues behind itself and end-to-end latency grows, which is the
+// effect behind Figure 9b.
+package topo
+
+import (
+	"fmt"
+
+	"fairrw/internal/sim"
+)
+
+// NodeKind distinguishes the agent classes attached to the network.
+type NodeKind uint8
+
+const (
+	// CoreNode is a processor core (and its colocated L1 + LCU).
+	CoreNode NodeKind = iota
+	// MemNode is a memory controller (and its colocated LRT / SSB bank).
+	MemNode
+)
+
+// NodeID addresses an agent on the interconnect.
+type NodeID struct {
+	Kind  NodeKind
+	Index int
+}
+
+// Core returns the NodeID of core i.
+func Core(i int) NodeID { return NodeID{CoreNode, i} }
+
+// Mem returns the NodeID of memory controller i.
+func Mem(i int) NodeID { return NodeID{MemNode, i} }
+
+func (n NodeID) String() string {
+	switch n.Kind {
+	case CoreNode:
+		return fmt.Sprintf("core%d", n.Index)
+	case MemNode:
+		return fmt.Sprintf("mem%d", n.Index)
+	}
+	return fmt.Sprintf("node(%d,%d)", n.Kind, n.Index)
+}
+
+// Link is a shared network resource. Messages crossing it are serialized:
+// each occupies the link for SerLat cycles, and messages exceeding the
+// link's capacity in a time window queue into the next window.
+//
+// Occupancy is tracked in a ring of fixed-width time buckets rather than a
+// single busy-until cursor, because transactions charge their later legs
+// at future times: a single cursor would make a present message queue
+// behind a reservation hundreds of cycles ahead even though the link is
+// idle now, and the artificial waits cascade.
+type Link struct {
+	Name   string
+	SerLat sim.Time // occupancy per message (inverse bandwidth)
+
+	ring [linkRingSize]linkBucket
+
+	// Stats
+	Msgs      uint64
+	TotalWait sim.Time // cycles spent queueing behind earlier messages
+}
+
+const (
+	linkBucketBits = 6 // 64-cycle buckets
+	linkBucketLen  = sim.Time(1) << linkBucketBits
+	linkRingSize   = 64 // 4096-cycle reservation window
+)
+
+type linkBucket struct {
+	epoch uint64
+	used  sim.Time
+}
+
+// cross reserves capacity for one message arriving at time t and returns
+// the time at which the message has crossed the link.
+func (l *Link) cross(t sim.Time) sim.Time {
+	l.Msgs++
+	if l.SerLat == 0 {
+		return t
+	}
+	for {
+		b := uint64(t) >> linkBucketBits
+		slot := &l.ring[b%linkRingSize]
+		if slot.epoch != b {
+			if slot.epoch > b {
+				// A newer window already recycled this slot; this (rare)
+				// out-of-order charge just pays latency without booking.
+				return t + l.SerLat
+			}
+			slot.epoch = b
+			slot.used = 0
+		}
+		if slot.used+l.SerLat <= linkBucketLen {
+			slot.used += l.SerLat
+			return t + l.SerLat
+		}
+		// Window full: queue into the next one.
+		next := sim.Time(b+1) << linkBucketBits
+		l.TotalWait += next - t
+		t = next
+	}
+}
+
+// Reset clears link occupancy and statistics (between benchmark runs).
+func (l *Link) Reset() {
+	l.ring = [linkRingSize]linkBucket{}
+	l.Msgs = 0
+	l.TotalWait = 0
+}
+
+// Network routes messages between nodes. Route returns the ordered shared
+// links a message crosses plus the total propagation latency (the
+// uncongested one-way latency).
+type Network struct {
+	K     *sim.Kernel
+	Name  string
+	Links []*Link
+	Route func(from, to NodeID) (links []*Link, propagation sim.Time)
+
+	// Stats
+	Sent uint64
+}
+
+// Delay computes the one-way delivery latency for a message sent now,
+// charging occupancy on every shared link along the route.
+func (n *Network) Delay(from, to NodeID) sim.Time {
+	return n.DelayAt(n.K.Now(), from, to)
+}
+
+// DelayAt computes the one-way latency for a message injected at absolute
+// time start, charging link occupancy. It lets multi-leg transactions
+// (request, forward, reply) charge each leg at the time it actually begins.
+func (n *Network) DelayAt(start sim.Time, from, to NodeID) sim.Time {
+	n.Sent++
+	links, prop := n.Route(from, to)
+	t := start
+	for _, l := range links {
+		t = l.cross(t)
+	}
+	return (t - start) + prop
+}
+
+// Send delivers a message: it computes the congested one-way latency and
+// schedules deliver at arrival time.
+func (n *Network) Send(from, to NodeID, deliver func()) {
+	n.K.Schedule(n.Delay(from, to), deliver)
+}
+
+// Uncongested returns the propagation-only latency between two nodes,
+// without charging link occupancy. Used for calibration and for modelling
+// transactions whose queueing is charged elsewhere.
+func (n *Network) Uncongested(from, to NodeID) sim.Time {
+	_, prop := n.Route(from, to)
+	return prop
+}
+
+// ResetStats clears all link and network counters.
+func (n *Network) ResetStats() {
+	n.Sent = 0
+	for _, l := range n.Links {
+		l.Reset()
+	}
+}

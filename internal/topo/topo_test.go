@@ -1,0 +1,145 @@
+package topo
+
+import (
+	"testing"
+
+	"fairrw/internal/sim"
+)
+
+func TestLinkSerialization(t *testing.T) {
+	l := &Link{Name: "l", SerLat: 4}
+	// A 64-cycle window fits 16 messages at 4 cycles each; the 17th queues
+	// into the next window.
+	for i := 0; i < 16; i++ {
+		if got := l.cross(0); got != 4 {
+			t.Fatalf("cross %d = %d, want 4", i, got)
+		}
+	}
+	if got := l.cross(0); got != 68 {
+		t.Fatalf("overflow cross = %d, want 68 (next window + SerLat)", got)
+	}
+	if l.TotalWait != 64 {
+		t.Fatalf("TotalWait = %d, want 64", l.TotalWait)
+	}
+	// A late message in an idle window does not queue.
+	if got := l.cross(1000); got != 1004 {
+		t.Fatalf("late cross = %d, want 1004", got)
+	}
+	l.Reset()
+	if l.Msgs != 0 || l.TotalWait != 0 {
+		t.Fatal("Reset did not clear link state")
+	}
+}
+
+func TestLinkOutOfOrderChargesDoNotBlockPresent(t *testing.T) {
+	l := &Link{Name: "l", SerLat: 4}
+	// A reservation far in the future must not delay a message now.
+	if got := l.cross(500); got != 504 {
+		t.Fatalf("future charge = %d, want 504", got)
+	}
+	if got := l.cross(0); got != 4 {
+		t.Fatalf("present message was blocked by a future reservation: %d", got)
+	}
+	if l.TotalWait != 0 {
+		t.Fatalf("TotalWait = %d, want 0", l.TotalWait)
+	}
+}
+
+func TestModelARouting(t *testing.T) {
+	k := sim.New()
+	n := NewModelA(k, DefaultModelA())
+
+	// Self-route is free.
+	if d := n.Uncongested(Core(3), Core(3)); d != 0 {
+		t.Fatalf("self route latency = %d, want 0", d)
+	}
+	// Cross-chip propagation equals OneWay.
+	if d := n.Uncongested(Core(0), Core(31)); d != 55 {
+		t.Fatalf("cross-chip latency = %d, want 55", d)
+	}
+	// Model A memory is uniform: local and remote controllers cost the same.
+	local := n.Uncongested(Core(5), Mem(5))
+	remote := n.Uncongested(Core(5), Mem(6))
+	if local != remote {
+		t.Fatalf("model A memory should be uniform: local %d vs remote %d", local, remote)
+	}
+}
+
+func TestModelBRouting(t *testing.T) {
+	k := sim.New()
+	n := NewModelB(k, DefaultModelB())
+
+	// Same chip: cores 0 and 7 share chip 0.
+	intra := n.Uncongested(Core(0), Core(7))
+	// Cross chip: core 0 (chip 0) to core 8 (chip 1).
+	inter := n.Uncongested(Core(0), Core(8))
+	if intra != 20 || inter != 60 {
+		t.Fatalf("intra=%d inter=%d, want 20/60", intra, inter)
+	}
+	// Memory controllers 0,1 are on chip 0; 2,3 on chip 1.
+	if d := n.Uncongested(Core(3), Mem(1)); d != 20 {
+		t.Fatalf("core3->mem1 = %d, want intra 20", d)
+	}
+	if d := n.Uncongested(Core(3), Mem(2)); d != 60 {
+		t.Fatalf("core3->mem2 = %d, want inter 60", d)
+	}
+}
+
+func TestCongestionGrowsDelay(t *testing.T) {
+	k := sim.New()
+	n := NewModelB(k, DefaultModelB())
+
+	// Hammer one cross-chip route; later messages should see growing delay
+	// as they queue on the hub.
+	first := n.Delay(Core(0), Core(8))
+	var last sim.Time
+	for i := 0; i < 50; i++ {
+		last = n.Delay(Core(0), Core(8))
+	}
+	if last <= first {
+		t.Fatalf("delay did not grow under congestion: first=%d last=%d", first, last)
+	}
+	n.ResetStats()
+	again := n.Delay(Core(0), Core(8))
+	if again != first {
+		t.Fatalf("after reset, delay = %d, want %d", again, first)
+	}
+}
+
+func TestSendDelivers(t *testing.T) {
+	k := sim.New()
+	n := NewModelA(k, DefaultModelA())
+	var deliveredAt sim.Time
+	n.Send(Core(0), Core(1), func() { deliveredAt = k.Now() })
+	k.Run()
+	// 2 access links (4 each) + root (2) + propagation 55 = 65.
+	if deliveredAt != 65 {
+		t.Fatalf("delivered at %d, want 65", deliveredAt)
+	}
+	if n.Sent != 1 {
+		t.Fatalf("Sent = %d, want 1", n.Sent)
+	}
+}
+
+func TestModelBHubSpreading(t *testing.T) {
+	k := sim.New()
+	n := NewModelB(k, DefaultModelB())
+	// Traffic between different chip pairs should not all use one hub.
+	for cf := 0; cf < 4; cf++ {
+		for ct := 0; ct < 4; ct++ {
+			if cf == ct {
+				continue
+			}
+			n.Delay(Core(cf*8), Core(ct*8))
+		}
+	}
+	used := 0
+	for _, l := range n.Links {
+		if l.Name[:3] == "hub" && l.Msgs > 0 {
+			used++
+		}
+	}
+	if used < 2 {
+		t.Fatalf("only %d hubs carried traffic; routing does not spread load", used)
+	}
+}
