@@ -3,9 +3,13 @@
 // Figures 9-10 (critical-section microbenchmark), Figures 11-12 (STM
 // benchmarks) and Figure 13 (applications).
 //
+// Independent configurations within a figure are fanned out across a
+// worker pool (-parallel); results render in deterministic order, so the
+// output is byte-identical at any worker count.
+//
 // Usage:
 //
-//	lcusim [-iters N] [-stmops N] [-runs N] <target>...
+//	lcusim [-iters N] [-stmops N] [-runs N] [-parallel N] [-cpuprofile F] <target>...
 //
 // Targets: table1 table8 fig9a fig9b fig10a fig10b fig11a fig11b
 // fig12a fig12b fig13 micro stm all
@@ -15,23 +19,24 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime/pprof"
 
 	"fairrw/internal/bench"
 )
 
 func main() {
-	iters := flag.Int("iters", 8000, "critical-section entries per microbenchmark configuration")
-	stmops := flag.Int("stmops", 60, "operations per thread in STM benchmarks")
-	runs := flag.Int("runs", 5, "seeds per Figure 13 configuration")
+	cfg := bench.Default()
+	flag.IntVar(&cfg.Iters, "iters", cfg.Iters, "critical-section entries per microbenchmark configuration")
+	flag.IntVar(&cfg.STMOps, "stmops", cfg.STMOps, "operations per thread in STM benchmarks")
+	flag.IntVar(&cfg.Fig13Runs, "runs", cfg.Fig13Runs, "seeds per Figure 13 configuration")
+	flag.IntVar(&cfg.Parallel, "parallel", 0, "sweep workers (0 = one per CPU, 1 = serial)")
+	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile to this file")
 	flag.Usage = func() {
 		fmt.Fprintln(os.Stderr, "usage: lcusim [flags] <target>...")
 		fmt.Fprintln(os.Stderr, "targets: table1 table8 fig9a fig9b fig10a fig10b fig11a fig11b fig12a fig12b fig13 micro stm all")
 		flag.PrintDefaults()
 	}
 	flag.Parse()
-	bench.Iters = *iters
-	bench.STMOps = *stmops
-	bench.Fig13Runs = *runs
 
 	targets := flag.Args()
 	if len(targets) == 0 {
@@ -39,18 +44,32 @@ func main() {
 		os.Exit(2)
 	}
 
+	if *cpuprofile != "" {
+		f, err := os.Create(*cpuprofile)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "lcusim: %v\n", err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fmt.Fprintf(os.Stderr, "lcusim: %v\n", err)
+			os.Exit(1)
+		}
+		defer pprof.StopCPUProfile()
+	}
+
 	run := map[string]func(){
 		"table1": func() { bench.Table1(os.Stdout) },
 		"table8": func() { bench.Table8(os.Stdout) },
-		"fig9a":  func() { bench.Fig9(os.Stdout, "A") },
-		"fig9b":  func() { bench.Fig9(os.Stdout, "B") },
-		"fig10a": func() { bench.Fig10(os.Stdout, "A") },
-		"fig10b": func() { bench.Fig10(os.Stdout, "B") },
-		"fig11a": func() { bench.Fig11(os.Stdout, "A") },
-		"fig11b": func() { bench.Fig11(os.Stdout, "B") },
-		"fig12a": func() { bench.Fig12(os.Stdout, "A") },
-		"fig12b": func() { bench.Fig12(os.Stdout, "B") },
-		"fig13":  func() { bench.Fig13(os.Stdout) },
+		"fig9a":  func() { cfg.Fig9(os.Stdout, "A") },
+		"fig9b":  func() { cfg.Fig9(os.Stdout, "B") },
+		"fig10a": func() { cfg.Fig10(os.Stdout, "A") },
+		"fig10b": func() { cfg.Fig10(os.Stdout, "B") },
+		"fig11a": func() { cfg.Fig11(os.Stdout, "A") },
+		"fig11b": func() { cfg.Fig11(os.Stdout, "B") },
+		"fig12a": func() { cfg.Fig12(os.Stdout, "A") },
+		"fig12b": func() { cfg.Fig12(os.Stdout, "B") },
+		"fig13":  func() { cfg.Fig13(os.Stdout) },
 	}
 	groups := map[string][]string{
 		"micro": {"fig9a", "fig9b", "fig10a", "fig10b"},
@@ -71,6 +90,9 @@ func main() {
 		return []string{t}
 	}
 
+	// Validate every target before running anything, so a typo can't waste
+	// a long sweep (or truncate an in-flight CPU profile).
+	var todo []func()
 	for _, t := range targets {
 		for _, x := range expand(t) {
 			f, ok := run[x]
@@ -78,7 +100,10 @@ func main() {
 				fmt.Fprintf(os.Stderr, "lcusim: unknown target %q\n", x)
 				os.Exit(2)
 			}
-			f()
+			todo = append(todo, f)
 		}
+	}
+	for _, f := range todo {
+		f()
 	}
 }

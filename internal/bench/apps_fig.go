@@ -10,28 +10,8 @@ import (
 	"fairrw/internal/machine"
 	"fairrw/internal/ssb"
 	"fairrw/internal/stats"
+	"fairrw/internal/sweep"
 )
-
-// Fig13Runs is the number of seeds per configuration (the paper reports a
-// 95% confidence interval over several runs).
-var Fig13Runs = 5
-
-// Fig13Apps lists the applications with the paper's thread counts.
-var Fig13Apps = []struct {
-	Name    string
-	Threads int
-}{
-	{"fluidanimate", 32},
-	{"cholesky", 16},
-	{"radiosity", 16},
-}
-
-// Fig13Locks are the compared lock models.
-var Fig13Locks = []string{"posix", "lcu", "ssb"}
-
-// FLTSlots configures the optional Free Lock Table ablation appended to
-// Figure 13 when > 0.
-var FLTSlots = 4
 
 func runApp(app string, threads int, lock string, flt int, seed int64) float64 {
 	m := machine.ModelA()
@@ -48,20 +28,46 @@ func runApp(app string, threads int, lock string, flt int, seed int64) float64 {
 // Fig13 regenerates Figure 13: application execution time (model A) with
 // 95% confidence intervals, plus the paper's speedup commentary and the
 // FLT ablation for radiosity (Section IV-C).
-func Fig13(w io.Writer) {
+func (c Config) Fig13(w io.Writer) {
+	// One flattened job per (app, lock, seed) plus the FLT ablation runs.
+	type job struct {
+		app     string
+		threads int
+		lock    string
+		flt     int
+		seed    int64
+	}
+	var jobs []job
+	for _, a := range c.Fig13Apps {
+		for _, lock := range c.Fig13Locks {
+			for r := 0; r < c.Fig13Runs; r++ {
+				jobs = append(jobs, job{a.Name, a.Threads, lock, 0, int64(1000 + r*77)})
+			}
+		}
+	}
+	fltBase := len(jobs)
+	if c.FLTSlots > 0 {
+		for r := 0; r < c.Fig13Runs; r++ {
+			jobs = append(jobs, job{"radiosity", 16, "lcu", c.FLTSlots, int64(1000 + r*77)})
+		}
+	}
+	cycles := sweep.Map(c.runner(), len(jobs), func(i int) float64 {
+		j := jobs[i]
+		return runApp(j.app, j.threads, j.lock, j.flt, j.seed)
+	})
+
 	fmt.Fprintln(w, "Figure 13 — application execution time (cycles, model A, mean ± 95% CI)")
 	tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
 	fmt.Fprintln(tw, "app\tthreads\tposix\tlcu\tssb\tlcu speedup")
 	var speedups []float64
 	radiosityPosix := 0.0
-	for _, a := range Fig13Apps {
+	idx := 0
+	for _, a := range c.Fig13Apps {
 		means := map[string]float64{}
 		cis := map[string]float64{}
-		for _, lock := range Fig13Locks {
-			var xs []float64
-			for r := 0; r < Fig13Runs; r++ {
-				xs = append(xs, runApp(a.Name, a.Threads, lock, 0, int64(1000+r*77)))
-			}
+		for _, lock := range c.Fig13Locks {
+			xs := cycles[idx : idx+c.Fig13Runs]
+			idx += c.Fig13Runs
 			means[lock] = stats.Mean(xs)
 			cis[lock] = stats.CI95(xs)
 		}
@@ -78,13 +84,10 @@ func Fig13(w io.Writer) {
 	fmt.Fprintf(w, "geometric-mean LCU speedup over posix: %.3fx (paper: ~1.02x; fluidanimate +7.4%%, radiosity negative)\n",
 		stats.GeoMean(speedups))
 
-	if FLTSlots > 0 {
-		var xs []float64
-		for r := 0; r < Fig13Runs; r++ {
-			xs = append(xs, runApp("radiosity", 16, "lcu", FLTSlots, int64(1000+r*77)))
-		}
+	if c.FLTSlots > 0 {
+		xs := cycles[fltBase:]
 		fmt.Fprintf(w, "FLT ablation — radiosity with %d-slot FLT: %.0f±%.0f cycles (%.3fx vs posix; Section IV-C biasing restored)\n",
-			FLTSlots, stats.Mean(xs), stats.CI95(xs), radiosityPosix/stats.Mean(xs))
+			c.FLTSlots, stats.Mean(xs), stats.CI95(xs), radiosityPosix/stats.Mean(xs))
 	}
 	fmt.Fprintln(w)
 }

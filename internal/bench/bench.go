@@ -2,7 +2,12 @@
 // evaluation section as text tables: Figure 1 (qualitative comparison),
 // Figure 8 (model parameters), Figures 9-10 (critical-section transfer
 // time), Figures 11-12 (STM benchmarks) and Figure 13 (applications).
-// Each Fig* function is deterministic for a given seed.
+//
+// All knobs live in Config rather than package globals, so concurrent
+// sweeps are race-free. Each Fig* method enumerates its configurations,
+// fans the independent simulations out across a sweep.Runner (every run
+// owns its machine and kernel), then renders the collected results in
+// enumeration order — output is byte-identical at any worker count.
 package bench
 
 import (
@@ -12,46 +17,129 @@ import (
 
 	"fairrw/internal/microbench"
 	"fairrw/internal/stats"
+	"fairrw/internal/sweep"
 )
 
-// Fig9Threads is the thread-count sweep of Figure 9.
-var Fig9Threads = []int{4, 8, 16, 24, 32}
+// App names one Figure 13 application with its thread count.
+type App struct {
+	Name    string
+	Threads int
+}
 
-// Fig9WritePcts is the write-percentage sweep of Figures 9 and 10.
-var Fig9WritePcts = []int{100, 75, 50, 25}
+// Config parameterizes the whole figure harness. Use Default() and
+// override fields; the zero value is not runnable.
+type Config struct {
+	// Iters is the number of critical-section entries per microbenchmark
+	// configuration. The paper uses 50 000; cycles/CS converges long
+	// before that, so the default is smaller. Raise for higher fidelity.
+	Iters int
+	// STMOps is the per-thread operation count for the STM figures.
+	STMOps int
+	// Fig13Runs is the number of seeds per Figure 13 configuration (the
+	// paper reports a 95% confidence interval over several runs).
+	Fig13Runs int
+	// Parallel is the sweep worker count: 0 = one per CPU (GOMAXPROCS),
+	// 1 = serial.
+	Parallel int
 
-// Fig10Threads extends past the core count to expose the preemption
-// anomaly of queue-based software locks.
-var Fig10Threads = []int{4, 8, 16, 24, 32, 40, 48}
+	// Fig9Threads is the thread-count sweep of Figure 9.
+	Fig9Threads []int
+	// Fig9WritePcts is the write-percentage sweep of Figures 9 and 10.
+	Fig9WritePcts []int
+	// Fig10Threads extends past the core count to expose the preemption
+	// anomaly of queue-based software locks.
+	Fig10Threads []int
 
-// Iters is the number of critical-section entries per configuration.
-// The paper uses 50 000; cycles/CS converges long before that, so the
-// default here is smaller. Override for higher fidelity.
-var Iters = 8000
+	// Fig11Threads is the thread sweep of Figure 11.
+	Fig11Threads []int
+	// Fig11Engines are the compared systems (Fraser = nonblocking, unsafe
+	// privatization; sw-only = lock-based with software RW words; lcu /
+	// ssb = lock-based over the hardware devices).
+	Fig11Engines []string
+	// Fig11Nodes is the RB-tree key space of Figure 11.
+	Fig11Nodes int
+	// Fig12Sizes are the structure sizes of Figure 12. The paper uses
+	// 2^15 and 2^19 keys; the defaults are smaller for simulation runtime
+	// (the shape — root congestion for rb/skip, none for hash — is
+	// size-stable; see EXPERIMENTS.md).
+	Fig12Sizes []int
+	// Fig12Structures are the three benchmarks of Figure 12.
+	Fig12Structures []string
+
+	// Fig13Apps lists the applications with the paper's thread counts.
+	Fig13Apps []App
+	// Fig13Locks are the compared lock models.
+	Fig13Locks []string
+	// FLTSlots configures the optional Free Lock Table ablation appended
+	// to Figure 13 when > 0.
+	FLTSlots int
+}
+
+// Default returns the harness defaults used by cmd/lcusim.
+func Default() Config {
+	return Config{
+		Iters:           8000,
+		STMOps:          60,
+		Fig13Runs:       5,
+		Fig9Threads:     []int{4, 8, 16, 24, 32},
+		Fig9WritePcts:   []int{100, 75, 50, 25},
+		Fig10Threads:    []int{4, 8, 16, 24, 32, 40, 48},
+		Fig11Threads:    []int{1, 2, 4, 8, 16, 32},
+		Fig11Engines:    []string{"swonly", "lcu", "fraser", "ssb"},
+		Fig11Nodes:      1 << 8,
+		Fig12Sizes:      []int{1 << 10, 1 << 13},
+		Fig12Structures: []string{"rb", "skip", "hash"},
+		Fig13Apps: []App{
+			{"fluidanimate", 32},
+			{"cholesky", 16},
+			{"radiosity", 16},
+		},
+		Fig13Locks: []string{"posix", "lcu", "ssb"},
+		FLTSlots:   4,
+	}
+}
+
+// runner returns the sweep pool for this config.
+func (c Config) runner() sweep.Runner { return sweep.Runner{Workers: c.Parallel} }
 
 // Fig9 regenerates Figure 9 (CS execution time, LCU vs SSB) for the given
 // model ("A" => Fig. 9a, "B" => Fig. 9b).
-func Fig9(w io.Writer, model string) {
+func (c Config) Fig9(w io.Writer, model string) {
+	// Enumerate configurations in render order, then fan out.
+	var cfgs []microbench.Config
+	for _, th := range c.Fig9Threads {
+		for _, lock := range []string{"lcu", "ssb"} {
+			for _, wp := range c.Fig9WritePcts {
+				cfgs = append(cfgs, microbench.Config{
+					Model: model, Lock: lock, Threads: th, WritePct: wp,
+					TotalIters: c.Iters, Seed: 42,
+				})
+			}
+		}
+	}
+	results := sweep.Map(c.runner(), len(cfgs), func(i int) microbench.Result {
+		return microbench.Run(cfgs[i])
+	})
+
 	fmt.Fprintf(w, "Figure 9%s — CS execution time (cycles/CS), LCU vs SSB, model %s\n",
 		map[string]string{"A": "a", "B": "b"}[model], model)
 	tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
 	fmt.Fprintf(tw, "threads")
 	for _, lock := range []string{"lcu", "ssb"} {
-		for _, wp := range Fig9WritePcts {
+		for _, wp := range c.Fig9WritePcts {
 			fmt.Fprintf(tw, "\t%s-%d%%w", lock, wp)
 		}
 	}
 	fmt.Fprintln(tw)
 
 	var lcuMutex, ssbMutex []float64
-	for _, th := range Fig9Threads {
+	idx := 0
+	for _, th := range c.Fig9Threads {
 		fmt.Fprintf(tw, "%d", th)
 		for _, lock := range []string{"lcu", "ssb"} {
-			for _, wp := range Fig9WritePcts {
-				r := microbench.Run(microbench.Config{
-					Model: model, Lock: lock, Threads: th, WritePct: wp,
-					TotalIters: Iters, Seed: 42,
-				})
+			for _, wp := range c.Fig9WritePcts {
+				r := results[idx]
+				idx++
 				fmt.Fprintf(tw, "\t%.0f", r.CyclesPerCS)
 				if wp == 100 {
 					if lock == "lcu" {
@@ -74,15 +162,36 @@ func Fig9(w io.Writer, model string) {
 }
 
 // Fig10 regenerates Figure 10 (CS execution time, LCU vs software locks).
-func Fig10(w io.Writer, model string) {
+func (c Config) Fig10(w io.Writer, model string) {
+	locks := []string{"lcu", "tas", "tatas", "mcs", "mrsw"}
+	writePcts := func(lock string) []int {
+		if lock == "lcu" || lock == "mrsw" {
+			return c.Fig9WritePcts
+		}
+		return []int{100}
+	}
+	var cfgs []microbench.Config
+	for _, th := range c.Fig10Threads {
+		for _, lock := range locks {
+			for _, wp := range writePcts(lock) {
+				cfgs = append(cfgs, microbench.Config{
+					Model: model, Lock: lock, Threads: th, WritePct: wp,
+					TotalIters: c.Iters, Seed: 42,
+				})
+			}
+		}
+	}
+	results := sweep.Map(c.runner(), len(cfgs), func(i int) microbench.Result {
+		return microbench.Run(cfgs[i])
+	})
+
 	fmt.Fprintf(w, "Figure 10%s — CS execution time (cycles/CS), LCU vs software locks, model %s\n",
 		map[string]string{"A": "a", "B": "b"}[model], model)
-	locks := []string{"lcu", "tas", "tatas", "mcs", "mrsw"}
 	tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
 	fmt.Fprintf(tw, "threads")
 	for _, lock := range locks {
 		if lock == "lcu" || lock == "mrsw" {
-			for _, wp := range Fig9WritePcts {
+			for _, wp := range c.Fig9WritePcts {
 				fmt.Fprintf(tw, "\t%s-%d%%w", lock, wp)
 			}
 		} else {
@@ -92,18 +201,13 @@ func Fig10(w io.Writer, model string) {
 	fmt.Fprintln(tw)
 
 	var lcu100, mcs100, lcu75, mrsw75 []float64
-	for _, th := range Fig10Threads {
+	idx := 0
+	for _, th := range c.Fig10Threads {
 		fmt.Fprintf(tw, "%d", th)
 		for _, lock := range locks {
-			wps := []int{100}
-			if lock == "lcu" || lock == "mrsw" {
-				wps = Fig9WritePcts
-			}
-			for _, wp := range wps {
-				r := microbench.Run(microbench.Config{
-					Model: model, Lock: lock, Threads: th, WritePct: wp,
-					TotalIters: Iters, Seed: 42,
-				})
+			for _, wp := range writePcts(lock) {
+				r := results[idx]
+				idx++
 				fmt.Fprintf(tw, "\t%.0f", r.CyclesPerCS)
 				if th <= 32 {
 					switch {

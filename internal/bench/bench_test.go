@@ -29,14 +29,11 @@ func TestTable8Renders(t *testing.T) {
 }
 
 func TestFig9SmallRenders(t *testing.T) {
-	old := Iters
-	Iters = 400
-	defer func() { Iters = old }()
-	oldT := Fig9Threads
-	Fig9Threads = []int{4}
-	defer func() { Fig9Threads = oldT }()
+	c := Default()
+	c.Iters = 400
+	c.Fig9Threads = []int{4}
 	var b bytes.Buffer
-	Fig9(&b, "A")
+	c.Fig9(&b, "A")
 	if !strings.Contains(b.String(), "lcu-100%w") {
 		t.Fatal("figure 9 header missing")
 	}
@@ -46,17 +43,12 @@ func TestFig9SmallRenders(t *testing.T) {
 }
 
 func TestFig13SmallRenders(t *testing.T) {
-	oldR := Fig13Runs
-	Fig13Runs = 2
-	defer func() { Fig13Runs = oldR }()
-	oldA := Fig13Apps
-	Fig13Apps = Fig13Apps[1:2] // cholesky only: fastest
-	defer func() { Fig13Apps = oldA }()
-	oldF := FLTSlots
-	FLTSlots = 0
-	defer func() { FLTSlots = oldF }()
+	c := Default()
+	c.Fig13Runs = 2
+	c.Fig13Apps = c.Fig13Apps[1:2] // cholesky only: fastest
+	c.FLTSlots = 0
 	var b bytes.Buffer
-	Fig13(&b)
+	c.Fig13(&b)
 	if !strings.Contains(b.String(), "cholesky") {
 		t.Fatal("figure 13 row missing")
 	}

@@ -1,0 +1,59 @@
+package bench
+
+import (
+	"bytes"
+	"testing"
+)
+
+// small returns a reduced-size harness config so the determinism sweep
+// stays fast under -race.
+func small(parallel int) Config {
+	c := Default()
+	c.Iters = 400
+	c.Parallel = parallel
+	c.Fig9Threads = []int{4, 8}
+	c.Fig10Threads = []int{4, 8}
+	c.Fig13Runs = 2
+	return c
+}
+
+// render produces the Fig9 and Fig10 tables for both models at the given
+// worker count.
+func render(t *testing.T, parallel int) []byte {
+	t.Helper()
+	c := small(parallel)
+	var b bytes.Buffer
+	for _, model := range []string{"A", "B"} {
+		c.Fig9(&b, model)
+		c.Fig10(&b, model)
+	}
+	return b.Bytes()
+}
+
+// TestParallelRunnerByteIdentical asserts the sweep runner's rendered
+// Fig9/Fig10 tables are byte-identical at 1 vs 8 workers: every simulation
+// owns its kernel, and results are collected in configuration order, so
+// worker count must not be observable in the output.
+func TestParallelRunnerByteIdentical(t *testing.T) {
+	serial := render(t, 1)
+	parallel := render(t, 8)
+	if !bytes.Equal(serial, parallel) {
+		t.Fatalf("output differs between -parallel 1 and -parallel 8:\n--- serial ---\n%s\n--- parallel ---\n%s",
+			serial, parallel)
+	}
+}
+
+// TestParallelFig13ByteIdentical covers the flattened Fig13 sweep (apps ×
+// locks × seeds plus the FLT ablation) the same way.
+func TestParallelFig13ByteIdentical(t *testing.T) {
+	run := func(parallel int) []byte {
+		c := small(parallel)
+		c.Fig13Apps = c.Fig13Apps[1:2] // cholesky only: fastest
+		var b bytes.Buffer
+		c.Fig13(&b)
+		return b.Bytes()
+	}
+	if s, p := run(1), run(8); !bytes.Equal(s, p) {
+		t.Fatalf("Fig13 output differs between -parallel 1 and -parallel 8:\n--- serial ---\n%s\n--- parallel ---\n%s", s, p)
+	}
+}

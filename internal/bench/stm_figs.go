@@ -6,41 +6,40 @@ import (
 	"text/tabwriter"
 
 	"fairrw/internal/stmbench"
+	"fairrw/internal/sweep"
 )
-
-// Fig11Threads is the thread sweep of Figure 11.
-var Fig11Threads = []int{1, 2, 4, 8, 16, 32}
-
-// Fig11Engines are the compared systems (Fraser = nonblocking, unsafe
-// privatization; sw-only = lock-based with software RW words; lcu / ssb =
-// lock-based over the hardware devices).
-var Fig11Engines = []string{"swonly", "lcu", "fraser", "ssb"}
-
-// Fig11Nodes is the RB-tree key space of Figure 11 (2^8).
-var Fig11Nodes = 1 << 8
-
-// STMOps is the per-thread operation count for the STM figures.
-var STMOps = 60
 
 // Fig11 regenerates Figure 11: RB-tree transaction time and commit-phase
 // dissection vs thread count, 75% read-only transactions.
-func Fig11(w io.Writer, model string) {
+func (c Config) Fig11(w io.Writer, model string) {
+	var wls []stmbench.Workload
+	for _, th := range c.Fig11Threads {
+		for _, e := range c.Fig11Engines {
+			wls = append(wls, stmbench.Workload{
+				Model: model, Engine: e, Structure: "rb",
+				MaxNodes: c.Fig11Nodes, Threads: th, ReadPct: 75,
+				OpsPerThr: c.STMOps, Seed: 42,
+			})
+		}
+	}
+	results := sweep.Map(c.runner(), len(wls), func(i int) stmbench.Result {
+		return stmbench.Run(wls[i])
+	})
+
 	fmt.Fprintf(w, "Figure 11%s — RB-tree (2^8 keys, 75%% read-only): txn time (cycles) by engine, model %s\n",
 		map[string]string{"A": "a", "B": "b"}[model], model)
 	tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
 	fmt.Fprint(tw, "threads")
-	for _, e := range Fig11Engines {
+	for _, e := range c.Fig11Engines {
 		fmt.Fprintf(tw, "\t%s\t(exec+commit)", e)
 	}
 	fmt.Fprintln(tw)
-	for _, th := range Fig11Threads {
+	idx := 0
+	for _, th := range c.Fig11Threads {
 		fmt.Fprintf(tw, "%d", th)
-		for _, e := range Fig11Engines {
-			r := stmbench.Run(stmbench.Workload{
-				Model: model, Engine: e, Structure: "rb",
-				MaxNodes: Fig11Nodes, Threads: th, ReadPct: 75,
-				OpsPerThr: STMOps, Seed: 42,
-			})
+		for range c.Fig11Engines {
+			r := results[idx]
+			idx++
 			fmt.Fprintf(tw, "\t%.0f\t(%.0f+%.0f)", r.MeanTxnCycles, r.ExecPerTxn, r.CommitPerTxn)
 		}
 		fmt.Fprintln(tw)
@@ -49,32 +48,36 @@ func Fig11(w io.Writer, model string) {
 	fmt.Fprintln(w)
 }
 
-// Fig12Sizes are the structure sizes of Figure 12. The paper uses 2^15 and
-// 2^19 keys; the defaults here are 2^10 and 2^13 for simulation runtime
-// (the shape — root congestion for rb/skip, none for hash — is size-stable;
-// see EXPERIMENTS.md). Pass bigger sizes for higher fidelity.
-var Fig12Sizes = []int{1 << 10, 1 << 13}
-
-// Fig12Structures are the three benchmarks of Figure 12.
-var Fig12Structures = []string{"rb", "skip", "hash"}
-
 // Fig12 regenerates Figure 12: transaction time at 16 threads, 75%
 // read-only, for each structure and size, with sw-only/LCU speedups.
-func Fig12(w io.Writer, model string) {
+func (c Config) Fig12(w io.Writer, model string) {
+	var wls []stmbench.Workload
+	for _, structure := range c.Fig12Structures {
+		for _, size := range c.Fig12Sizes {
+			for _, e := range c.Fig11Engines {
+				wls = append(wls, stmbench.Workload{
+					Model: model, Engine: e, Structure: structure,
+					MaxNodes: size, Threads: 16, ReadPct: 75,
+					OpsPerThr: c.STMOps, Seed: 42,
+				})
+			}
+		}
+	}
+	results := sweep.Map(c.runner(), len(wls), func(i int) stmbench.Result {
+		return stmbench.Run(wls[i])
+	})
+
 	fmt.Fprintf(w, "Figure 12%s — txn time (cycles), 16 threads, 75%% read-only, model %s\n",
 		map[string]string{"A": "a", "B": "b"}[model], model)
 	tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
 	fmt.Fprintln(tw, "structure\tsize\tsw-only\tlcu\tfraser\tssb\tlcu speedup vs sw-only")
-	for _, structure := range Fig12Structures {
-		for _, size := range Fig12Sizes {
+	idx := 0
+	for _, structure := range c.Fig12Structures {
+		for _, size := range c.Fig12Sizes {
 			row := map[string]float64{}
-			for _, e := range Fig11Engines {
-				r := stmbench.Run(stmbench.Workload{
-					Model: model, Engine: e, Structure: structure,
-					MaxNodes: size, Threads: 16, ReadPct: 75,
-					OpsPerThr: STMOps, Seed: 42,
-				})
-				row[e] = r.MeanTxnCycles
+			for _, e := range c.Fig11Engines {
+				row[e] = results[idx].MeanTxnCycles
+				idx++
 			}
 			fmt.Fprintf(tw, "%s\t2^%d\t%.0f\t%.0f\t%.0f\t%.0f\t%.2fx\n",
 				structure, log2(size), row["swonly"], row["lcu"], row["fraser"], row["ssb"],

@@ -1,0 +1,16 @@
+package microbench
+
+import "testing"
+
+// BenchmarkMicrobenchRun measures one end-to-end microbenchmark simulation
+// (machine build + 8 simulated threads through the LCU), the unit of work
+// the sweep runner fans out.
+func BenchmarkMicrobenchRun(b *testing.B) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		Run(Config{
+			Model: "A", Lock: "lcu", Threads: 8, WritePct: 75,
+			TotalIters: 800, Seed: 42,
+		})
+	}
+}

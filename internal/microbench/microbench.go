@@ -8,6 +8,7 @@
 package microbench
 
 import (
+	"errors"
 	"fmt"
 	"math/rand"
 
@@ -31,9 +32,17 @@ type Config struct {
 	FLT        int // FLT slots for the lcu ablation (0 = off)
 }
 
+// ErrNoIterations reports a run in which no thread completed a single
+// critical section (e.g. a wedged lock under a bounded-event run), so
+// cycles-per-CS is undefined.
+var ErrNoIterations = errors.New("microbench: no critical sections completed")
+
 // Result carries the measured outcome of a run.
 type Result struct {
 	Config
+	// Err is non-nil when the run produced no measurable result; all
+	// measurement fields are then zero rather than NaN/Inf.
+	Err         error
 	TotalCycles sim.Time
 	CyclesPerCS float64
 	// PerThread is the acquisition count per thread (fairness).
@@ -84,6 +93,9 @@ func MakeLock(m *machine.Machine, name string, flt int) swlocks.RWLock {
 
 // Run executes the microbenchmark and returns its measurements.
 func Run(cfg Config) Result {
+	if cfg.Threads <= 0 {
+		return Result{Config: cfg, Err: ErrNoIterations}
+	}
 	if cfg.TotalIters == 0 {
 		cfg.TotalIters = 8000
 	}
@@ -125,11 +137,14 @@ func Run(cfg Config) Result {
 	}
 	m.Run()
 
-	res.TotalCycles = m.K.Now()
 	did := 0
 	for _, n := range res.PerThread {
 		did += n
 	}
+	if did == 0 {
+		return Result{Config: cfg, PerThread: res.PerThread, Err: ErrNoIterations}
+	}
+	res.TotalCycles = m.K.Now()
 	res.CyclesPerCS = float64(res.TotalCycles) / float64(did)
 	res.Messages = m.Net.Sent
 	if len(writerWaits) > 0 {

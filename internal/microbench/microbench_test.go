@@ -99,6 +99,18 @@ func TestFairnessLCUvsSSB(t *testing.T) {
 	}
 }
 
+func TestNoIterationsYieldsErrNotNaN(t *testing.T) {
+	// Threads <= 0 can never complete a critical section; the result must
+	// carry ErrNoIterations with zeroed metrics, not NaN/Inf.
+	r := Run(Config{Model: "A", Lock: "lcu", Threads: 0, WritePct: 100})
+	if r.Err != ErrNoIterations {
+		t.Fatalf("Err = %v, want ErrNoIterations", r.Err)
+	}
+	if r.CyclesPerCS != 0 || r.TotalCycles != 0 {
+		t.Fatalf("metrics not zeroed: cycles/CS=%v total=%v", r.CyclesPerCS, r.TotalCycles)
+	}
+}
+
 func TestDeterministicRuns(t *testing.T) {
 	a := run(t, Config{Model: "A", Lock: "lcu", Threads: 8, WritePct: 50, Seed: 7})
 	b := run(t, Config{Model: "A", Lock: "lcu", Threads: 8, WritePct: 50, Seed: 7})

@@ -1,0 +1,51 @@
+package sim
+
+import "testing"
+
+// BenchmarkSchedule measures one push+pop cycle through the event queue at
+// a steady-state depth of 256 pending events — the kernel's single hottest
+// operation.
+func BenchmarkSchedule(b *testing.B) {
+	k := New()
+	fn := func() {}
+	for i := 0; i < 256; i++ {
+		k.Schedule(Time(i), fn)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		k.Schedule(256, fn)
+		k.RunUntil(k.Now() + 1)
+	}
+}
+
+// BenchmarkWaitLoop measures the full context-switch path: two Procs
+// alternating via Wait(1), so every Wait goes through the scheduler (the
+// other Proc always has a pending event).
+func BenchmarkWaitLoop(b *testing.B) {
+	b.ReportAllocs()
+	k := New()
+	for i := 0; i < 2; i++ {
+		k.Spawn("w", func(p *Proc) {
+			for j := 0; j < b.N; j++ {
+				p.Wait(1)
+			}
+		})
+	}
+	b.ResetTimer()
+	k.Run()
+}
+
+// BenchmarkWaitLoopSolo measures Wait when the Proc is the only runnable
+// entity — the common case during single-threaded simulation phases.
+func BenchmarkWaitLoopSolo(b *testing.B) {
+	b.ReportAllocs()
+	k := New()
+	k.Spawn("solo", func(p *Proc) {
+		for j := 0; j < b.N; j++ {
+			p.Wait(1)
+		}
+	})
+	b.ResetTimer()
+	k.Run()
+}

@@ -7,49 +7,58 @@
 // run is bit-for-bit reproducible.
 package sim
 
-import (
-	"container/heap"
-	"fmt"
-)
+import "fmt"
 
 // Time is a point in virtual time, in cycles.
 type Time uint64
 
-// event is a scheduled callback.
+// Event kinds. The Proc hot paths (Wait, Wake, BlockTimeout) push
+// specialized kinds carrying the target Proc as plain value fields, so no
+// closure is allocated per context switch.
+const (
+	evFn       byte = iota // run fn
+	evDispatch             // dispatch proc
+	evTimeout              // dispatch proc if still blocked with wakeSeq == wseq
+)
+
+// event is a scheduled callback, stored by value in the heap.
 type event struct {
-	at  Time
-	seq uint64 // tie-breaker: insertion order
-	fn  func()
+	at   Time
+	seq  uint64 // tie-breaker: insertion order
+	wseq uint64 // evTimeout: Proc.wakeSeq guard against stale wakeups
+	fn   func() // evFn only
+	proc *Proc  // evDispatch, evTimeout
+	kind byte
 }
 
-type eventHeap []*event
-
-func (h eventHeap) Len() int { return len(h) }
-func (h eventHeap) Less(i, j int) bool {
-	if h[i].at != h[j].at {
-		return h[i].at < h[j].at
+// eventLess orders events by (time, insertion order).
+func eventLess(a, b *event) bool {
+	if a.at != b.at {
+		return a.at < b.at
 	}
-	return h[i].seq < h[j].seq
-}
-func (h eventHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
-func (h *eventHeap) Push(x interface{}) { *h = append(*h, x.(*event)) }
-func (h *eventHeap) Pop() interface{} {
-	old := *h
-	n := len(old)
-	e := old[n-1]
-	old[n-1] = nil
-	*h = old[:n-1]
-	return e
+	return a.seq < b.seq
 }
 
 // Kernel is the simulation engine. It is not safe for concurrent use from
 // multiple goroutines; Procs hand control back to the kernel before it ever
-// resumes another Proc.
+// resumes another Proc. Concurrent sweeps therefore give each run its own
+// Kernel.
 type Kernel struct {
-	now    Time
-	events eventHeap
+	now Time
+	// events is a value-based binary min-heap ordered by (at, seq). Pushing
+	// a value into the slice avoids the per-event allocation and the
+	// interface boxing that container/heap would impose.
+	events []event
 	seq    uint64
 	procs  []*Proc
+	// limit is the current RunUntil horizon; the Wait fast path must not
+	// advance the clock beyond it.
+	limit Time
+	// yield is the rendezvous the running Proc uses to hand control back.
+	// A single buffered channel suffices because at most one Proc runs at
+	// a time, and the buffer lets the yielding side continue to its park
+	// point without blocking on the kernel's wakeup.
+	yield chan struct{}
 
 	// nEvents counts executed events, for diagnostics and runaway guards.
 	nEvents uint64
@@ -59,7 +68,7 @@ type Kernel struct {
 
 // New returns an empty kernel at time 0.
 func New() *Kernel {
-	return &Kernel{}
+	return &Kernel{limit: ^Time(0), yield: make(chan struct{}, 1)}
 }
 
 // Now returns the current virtual time.
@@ -68,11 +77,54 @@ func (k *Kernel) Now() Time { return k.now }
 // Events returns the number of events executed so far.
 func (k *Kernel) Events() uint64 { return k.nEvents }
 
+// push inserts e into the heap (sift-up).
+func (k *Kernel) push(e event) {
+	h := append(k.events, e)
+	i := len(h) - 1
+	for i > 0 {
+		p := (i - 1) / 2
+		if !eventLess(&h[i], &h[p]) {
+			break
+		}
+		h[i], h[p] = h[p], h[i]
+		i = p
+	}
+	k.events = h
+}
+
+// pop removes and returns the minimum event (sift-down).
+func (k *Kernel) pop() event {
+	h := k.events
+	top := h[0]
+	n := len(h) - 1
+	h[0] = h[n]
+	h[n] = event{} // release fn/proc references
+	h = h[:n]
+	i := 0
+	for {
+		l := 2*i + 1
+		if l >= n {
+			break
+		}
+		m := l
+		if r := l + 1; r < n && eventLess(&h[r], &h[l]) {
+			m = r
+		}
+		if !eventLess(&h[m], &h[i]) {
+			break
+		}
+		h[i], h[m] = h[m], h[i]
+		i = m
+	}
+	k.events = h
+	return top
+}
+
 // Schedule runs fn at now+delay. Events scheduled for the same instant run
 // in the order they were scheduled.
 func (k *Kernel) Schedule(delay Time, fn func()) {
 	k.seq++
-	heap.Push(&k.events, &event{at: k.now + delay, seq: k.seq, fn: fn})
+	k.push(event{at: k.now + delay, seq: k.seq, fn: fn, kind: evFn})
 }
 
 // ScheduleAt runs fn at absolute time at, which must not be in the past.
@@ -81,7 +133,20 @@ func (k *Kernel) ScheduleAt(at Time, fn func()) {
 		panic(fmt.Sprintf("sim: ScheduleAt(%d) in the past (now=%d)", at, k.now))
 	}
 	k.seq++
-	heap.Push(&k.events, &event{at: at, seq: k.seq, fn: fn})
+	k.push(event{at: at, seq: k.seq, fn: fn, kind: evFn})
+}
+
+// pushDispatch schedules a dispatch of p at now+delay without allocating.
+func (k *Kernel) pushDispatch(delay Time, p *Proc) {
+	k.seq++
+	k.push(event{at: k.now + delay, seq: k.seq, proc: p, kind: evDispatch})
+}
+
+// pushTimeout schedules a conditional dispatch of p at now+delay, valid
+// only while p is still blocked on wait-sequence wseq.
+func (k *Kernel) pushTimeout(delay Time, p *Proc, wseq uint64) {
+	k.seq++
+	k.push(event{at: k.now + delay, seq: k.seq, proc: p, wseq: wseq, kind: evTimeout})
 }
 
 // Run executes events until the queue is empty or every Proc has finished.
@@ -93,12 +158,9 @@ func (k *Kernel) Run() Time {
 // RunUntil executes events with timestamps <= limit. Events beyond the
 // limit remain queued.
 func (k *Kernel) RunUntil(limit Time) Time {
-	for len(k.events) > 0 {
-		e := k.events[0]
-		if e.at > limit {
-			break
-		}
-		heap.Pop(&k.events)
+	k.limit = limit
+	for len(k.events) > 0 && k.events[0].at <= limit {
+		e := k.pop()
 		if e.at > k.now {
 			k.now = e.at
 		}
@@ -106,8 +168,21 @@ func (k *Kernel) RunUntil(limit Time) Time {
 		if k.MaxEvents != 0 && k.nEvents > k.MaxEvents {
 			panic(fmt.Sprintf("sim: event budget exceeded (%d events, now=%d)", k.nEvents, k.now))
 		}
-		e.fn()
+		switch e.kind {
+		case evFn:
+			e.fn()
+		case evDispatch:
+			k.dispatch(e.proc)
+		default: // evTimeout
+			p := e.proc
+			if p.blocked && p.wakeSeq == e.wseq {
+				p.timedOut = true
+				p.blocked = false
+				k.dispatch(p)
+			}
+		}
 	}
+	k.limit = ^Time(0)
 	return k.now
 }
 

@@ -194,6 +194,22 @@ func TestWaitGroup(t *testing.T) {
 	}
 }
 
+func TestWaitGroupDoneUnderflowPanics(t *testing.T) {
+	k := New()
+	var wg WaitGroup
+	wg.Add(1)
+	k.Spawn("over-done", func(p *Proc) {
+		wg.Done()
+		defer func() {
+			if recover() == nil {
+				t.Error("WaitGroup.Done underflow did not panic")
+			}
+		}()
+		wg.Done()
+	})
+	k.Run()
+}
+
 func TestEventBudget(t *testing.T) {
 	k := New()
 	k.MaxEvents = 100

@@ -12,11 +12,14 @@ type Proc struct {
 	name string
 	id   int
 
+	// resume parks the Proc's goroutine between dispatches. Buffered so
+	// the kernel's wakeup send never blocks; yields go to the kernel's
+	// shared yield channel.
 	resume chan struct{}
-	yield  chan struct{}
 
 	blocked  bool // waiting for an explicit Wake
 	finished bool
+	timedOut bool // set by the kernel when a BlockTimeout expires
 
 	// wakeSeq guards against stale timed wakeups after an early Wake.
 	wakeSeq uint64
@@ -29,17 +32,16 @@ func (k *Kernel) Spawn(name string, body func(p *Proc)) *Proc {
 		k:      k,
 		name:   name,
 		id:     len(k.procs),
-		resume: make(chan struct{}),
-		yield:  make(chan struct{}),
+		resume: make(chan struct{}, 1),
 	}
 	k.procs = append(k.procs, p)
 	go func() {
 		<-p.resume // wait for first dispatch
 		body(p)
 		p.finished = true
-		p.yield <- struct{}{}
+		k.yield <- struct{}{}
 	}()
-	k.Schedule(0, func() { k.dispatch(p) })
+	k.pushDispatch(0, p)
 	return p
 }
 
@@ -49,7 +51,7 @@ func (k *Kernel) dispatch(p *Proc) {
 		return
 	}
 	p.resume <- struct{}{}
-	<-p.yield
+	<-k.yield
 }
 
 // Name returns the Proc's name.
@@ -66,9 +68,19 @@ func (p *Proc) Now() Time { return p.k.now }
 
 // Wait advances this Proc's execution by d cycles of virtual time. Other
 // events and Procs run in the interim.
+//
+// Fast path: when nothing else is scheduled before now+d (and the run
+// horizon allows it), no event could observe the interim, so the clock
+// advances in place without a heap operation or a goroutine handoff.
 func (p *Proc) Wait(d Time) {
 	p.wakeSeq++
-	p.k.Schedule(d, func() { p.k.dispatch(p) })
+	k := p.k
+	at := k.now + d
+	if at <= k.limit && (len(k.events) == 0 || k.events[0].at > at) {
+		k.now = at
+		return
+	}
+	k.pushDispatch(d, p)
 	p.yieldToKernel()
 }
 
@@ -86,17 +98,10 @@ func (p *Proc) Block() {
 func (p *Proc) BlockTimeout(d Time) bool {
 	p.blocked = true
 	p.wakeSeq++
-	seq := p.wakeSeq
-	timedOut := false
-	p.k.Schedule(d, func() {
-		if p.blocked && p.wakeSeq == seq {
-			timedOut = true
-			p.blocked = false
-			p.k.dispatch(p)
-		}
-	})
+	p.timedOut = false
+	p.k.pushTimeout(d, p, p.wakeSeq)
 	p.yieldToKernel()
-	return !timedOut
+	return !p.timedOut
 }
 
 // Wake schedules a blocked Proc to resume after delay cycles. Waking a
@@ -108,7 +113,7 @@ func (p *Proc) Wake(delay Time) {
 	}
 	p.blocked = false
 	p.wakeSeq++
-	p.k.Schedule(delay, func() { p.k.dispatch(p) })
+	p.k.pushDispatch(delay, p)
 }
 
 // Blocked reports whether the Proc is suspended waiting for Wake.
@@ -121,7 +126,7 @@ func (p *Proc) Finished() bool { return p.finished }
 func (p *Proc) Yield() { p.Wait(0) }
 
 func (p *Proc) yieldToKernel() {
-	p.yield <- struct{}{}
+	p.k.yield <- struct{}{}
 	<-p.resume
 }
 
@@ -135,8 +140,14 @@ type WaitGroup struct {
 func (w *WaitGroup) Add(n int) { w.n += n }
 
 // Done marks one Proc complete, waking the waiter when the count hits zero.
+// Calling Done more times than Add is a programming error: the count would
+// go negative, the zero crossing would never be seen again, and the waiter
+// would sleep forever — so it panics instead.
 func (w *WaitGroup) Done() {
 	w.n--
+	if w.n < 0 {
+		panic(fmt.Sprintf("sim: WaitGroup.Done without matching Add (count=%d)", w.n))
+	}
 	if w.n == 0 && w.waiter != nil {
 		p := w.waiter
 		w.waiter = nil

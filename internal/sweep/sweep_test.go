@@ -1,0 +1,82 @@
+package sweep
+
+import (
+	"strings"
+	"sync/atomic"
+	"testing"
+
+	"fairrw/internal/microbench"
+)
+
+func TestMapOrderAndCompleteness(t *testing.T) {
+	for _, workers := range []int{0, 1, 2, 8, 100} {
+		r := Runner{Workers: workers}
+		got := Map(r, 57, func(i int) int { return i * i })
+		if len(got) != 57 {
+			t.Fatalf("workers=%d: len = %d, want 57", workers, len(got))
+		}
+		for i, v := range got {
+			if v != i*i {
+				t.Fatalf("workers=%d: got[%d] = %d, want %d", workers, i, v, i*i)
+			}
+		}
+	}
+}
+
+func TestRunZeroAndNegative(t *testing.T) {
+	var calls atomic.Int64
+	Runner{}.Run(0, func(int) { calls.Add(1) })
+	Runner{}.Run(-3, func(int) { calls.Add(1) })
+	if calls.Load() != 0 {
+		t.Fatalf("job ran %d times for empty sweeps", calls.Load())
+	}
+}
+
+func TestRunEachIndexOnce(t *testing.T) {
+	const n = 200
+	counts := make([]atomic.Int64, n)
+	Runner{Workers: 7}.Run(n, func(i int) { counts[i].Add(1) })
+	for i := range counts {
+		if c := counts[i].Load(); c != 1 {
+			t.Fatalf("index %d ran %d times", i, c)
+		}
+	}
+}
+
+func TestRunPanicPropagates(t *testing.T) {
+	defer func() {
+		p := recover()
+		if p == nil {
+			t.Fatal("panic in job did not propagate")
+		}
+		if s, ok := p.(string); !ok || !strings.Contains(s, "boom") {
+			t.Fatalf("unexpected panic value %v", p)
+		}
+	}()
+	Runner{Workers: 4}.Run(32, func(i int) {
+		if i == 13 {
+			panic("boom at 13")
+		}
+	})
+}
+
+// TestParallelSimulationsDeterministic runs the same simulation config
+// concurrently on every worker and serially, asserting identical results:
+// each job owns its machine and kernel, so the sweep must be race-free and
+// bit-reproducible. Run under -race in CI.
+func TestParallelSimulationsDeterministic(t *testing.T) {
+	cfg := microbench.Config{
+		Model: "A", Lock: "lcu", Threads: 4, WritePct: 75,
+		TotalIters: 200, Seed: 42,
+	}
+	serial := microbench.Run(cfg)
+	results := Map(Runner{Workers: 8}, 8, func(i int) microbench.Result {
+		return microbench.Run(cfg)
+	})
+	for i, r := range results {
+		if r.TotalCycles != serial.TotalCycles || r.CyclesPerCS != serial.CyclesPerCS {
+			t.Fatalf("parallel run %d diverged: %v cycles vs serial %v",
+				i, r.TotalCycles, serial.TotalCycles)
+		}
+	}
+}
