@@ -8,12 +8,14 @@ import (
 	"fairrw/internal/apps"
 	"fairrw/internal/core"
 	"fairrw/internal/machine"
+	"fairrw/internal/obs"
 	"fairrw/internal/ssb"
 	"fairrw/internal/stats"
 	"fairrw/internal/sweep"
+	"fairrw/internal/swlocks"
 )
 
-func runApp(app string, threads int, lock string, flt int, seed int64) float64 {
+func runApp(app string, threads int, lock string, flt int, seed int64, o obs.Options) (float64, *obs.Capture) {
 	m := machine.ModelA()
 	switch lock {
 	case "lcu":
@@ -21,8 +23,24 @@ func runApp(app string, threads int, lock string, flt int, seed int64) float64 {
 	case "ssb":
 		ssb.New(m, ssb.Options{})
 	}
-	cycles := apps.Run(m, apps.Config{App: app, Lock: lock, Threads: threads, Seed: seed})
-	return float64(cycles)
+	mk := apps.Factory(lock)
+	var cap *obs.Capture
+	if o.Enabled() {
+		cap = m.EnableObs(o, fmt.Sprintf("%s/%s t=%d", app, lock, threads))
+		if lock != "lcu" && lock != "ssb" {
+			// Software locks need the tracing wrapper; each instance gets a
+			// distinct id in allocation order (deterministic: the app builds
+			// its locks single-threaded before spawning).
+			inner := mk
+			var nextID uint64
+			mk = func(m *machine.Machine) swlocks.RWLock {
+				nextID++
+				return swlocks.Trace(inner(m), nextID)
+			}
+		}
+	}
+	cycles := apps.RunWith(m, mk, apps.Config{App: app, Lock: lock, Threads: threads, Seed: seed})
+	return float64(cycles), cap
 }
 
 // Fig13 regenerates Figure 13: application execution time (model A) with
@@ -51,10 +69,22 @@ func (c Config) Fig13(w io.Writer) {
 			jobs = append(jobs, job{"radiosity", 16, "lcu", c.FLTSlots, int64(1000 + r*77)})
 		}
 	}
-	cycles := sweep.Map(c.runner(), len(jobs), func(i int) float64 {
+	type appOut struct {
+		cycles float64
+		obs    *obs.Capture
+	}
+	outs := sweep.Map(c.runner(), len(jobs), func(i int) appOut {
 		j := jobs[i]
-		return runApp(j.app, j.threads, j.lock, j.flt, j.seed)
+		cy, cap := runApp(j.app, j.threads, j.lock, j.flt, j.seed, c.obsOpt())
+		return appOut{cy, cap}
 	})
+	cycles := make([]float64, len(outs))
+	for i, o := range outs {
+		cycles[i] = o.cycles
+		if c.Obs != nil {
+			c.Obs.Add(o.obs)
+		}
+	}
 
 	fmt.Fprintln(w, "Figure 13 — application execution time (cycles, model A, mean ± 95% CI)")
 	tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)

@@ -16,6 +16,7 @@ import (
 	"text/tabwriter"
 
 	"fairrw/internal/microbench"
+	"fairrw/internal/obs"
 	"fairrw/internal/stats"
 	"fairrw/internal/sweep"
 )
@@ -73,6 +74,12 @@ type Config struct {
 	// FLTSlots configures the optional Free Lock Table ablation appended
 	// to Figure 13 when > 0.
 	FLTSlots int
+
+	// Obs, when non-nil, turns on observability: every run of the invoked
+	// figures records into its own capture (configured by Obs.Opt), and
+	// the captures are added to the collector in enumeration order, so the
+	// exported trace is byte-identical at any Parallel setting.
+	Obs *obs.Collector
 }
 
 // Default returns the harness defaults used by cmd/lcusim.
@@ -102,6 +109,14 @@ func Default() Config {
 // runner returns the sweep pool for this config.
 func (c Config) runner() sweep.Runner { return sweep.Runner{Workers: c.Parallel} }
 
+// obsOpt returns the per-run capture options (zero value = disabled).
+func (c Config) obsOpt() obs.Options {
+	if c.Obs == nil {
+		return obs.Options{}
+	}
+	return c.Obs.Opt
+}
+
 // Fig9 regenerates Figure 9 (CS execution time, LCU vs SSB) for the given
 // model ("A" => Fig. 9a, "B" => Fig. 9b).
 func (c Config) Fig9(w io.Writer, model string) {
@@ -112,7 +127,7 @@ func (c Config) Fig9(w io.Writer, model string) {
 			for _, wp := range c.Fig9WritePcts {
 				cfgs = append(cfgs, microbench.Config{
 					Model: model, Lock: lock, Threads: th, WritePct: wp,
-					TotalIters: c.Iters, Seed: 42,
+					TotalIters: c.Iters, Seed: 42, Obs: c.obsOpt(),
 				})
 			}
 		}
@@ -120,6 +135,11 @@ func (c Config) Fig9(w io.Writer, model string) {
 	results := sweep.Map(c.runner(), len(cfgs), func(i int) microbench.Result {
 		return microbench.Run(cfgs[i])
 	})
+	if c.Obs != nil {
+		for _, r := range results {
+			c.Obs.Add(r.Obs)
+		}
+	}
 
 	fmt.Fprintf(w, "Figure 9%s — CS execution time (cycles/CS), LCU vs SSB, model %s\n",
 		map[string]string{"A": "a", "B": "b"}[model], model)
@@ -176,7 +196,7 @@ func (c Config) Fig10(w io.Writer, model string) {
 			for _, wp := range writePcts(lock) {
 				cfgs = append(cfgs, microbench.Config{
 					Model: model, Lock: lock, Threads: th, WritePct: wp,
-					TotalIters: c.Iters, Seed: 42,
+					TotalIters: c.Iters, Seed: 42, Obs: c.obsOpt(),
 				})
 			}
 		}
@@ -184,6 +204,11 @@ func (c Config) Fig10(w io.Writer, model string) {
 	results := sweep.Map(c.runner(), len(cfgs), func(i int) microbench.Result {
 		return microbench.Run(cfgs[i])
 	})
+	if c.Obs != nil {
+		for _, r := range results {
+			c.Obs.Add(r.Obs)
+		}
+	}
 
 	fmt.Fprintf(w, "Figure 10%s — CS execution time (cycles/CS), LCU vs software locks, model %s\n",
 		map[string]string{"A": "a", "B": "b"}[model], model)

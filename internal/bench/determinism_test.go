@@ -2,7 +2,10 @@ package bench
 
 import (
 	"bytes"
+	"encoding/json"
 	"testing"
+
+	"fairrw/internal/obs"
 )
 
 // small returns a reduced-size harness config so the determinism sweep
@@ -55,5 +58,44 @@ func TestParallelFig13ByteIdentical(t *testing.T) {
 	}
 	if s, p := run(1), run(8); !bytes.Equal(s, p) {
 		t.Fatalf("Fig13 output differs between -parallel 1 and -parallel 8:\n--- serial ---\n%s\n--- parallel ---\n%s", s, p)
+	}
+}
+
+// TestParallelTraceByteIdentical asserts the observability layer inherits
+// the sweep's determinism: with tracing on, the exported Chrome trace and
+// metrics JSON are byte-identical at 1 vs 8 workers. Captures are
+// per-machine and the collector is populated in enumeration order, so
+// worker count must not leak into either file.
+func TestParallelTraceByteIdentical(t *testing.T) {
+	run := func(parallel int) (trace, metrics []byte) {
+		c := small(parallel)
+		c.Obs = &obs.Collector{Opt: obs.Options{Records: true, Metrics: true, Cache: true}}
+		var discard bytes.Buffer
+		c.Fig9(&discard, "A")
+		var tb, mb bytes.Buffer
+		if err := c.Obs.WriteChrome(&tb); err != nil {
+			t.Fatalf("WriteChrome: %v", err)
+		}
+		if err := c.Obs.WriteMetrics(&mb); err != nil {
+			t.Fatalf("WriteMetrics: %v", err)
+		}
+		return tb.Bytes(), mb.Bytes()
+	}
+	t1, m1 := run(1)
+	t8, m8 := run(8)
+	if !json.Valid(t1) {
+		t.Fatalf("trace is not valid JSON:\n%.2000s", t1)
+	}
+	if !json.Valid(m1) {
+		t.Fatalf("metrics is not valid JSON:\n%.2000s", m1)
+	}
+	if !bytes.Contains(t1, []byte(`"ph":`)) {
+		t.Fatalf("trace holds no events:\n%.2000s", t1)
+	}
+	if !bytes.Equal(t1, t8) {
+		t.Fatalf("trace differs between -parallel 1 (%d bytes) and -parallel 8 (%d bytes)", len(t1), len(t8))
+	}
+	if !bytes.Equal(m1, m8) {
+		t.Fatalf("metrics differ between -parallel 1 (%d bytes) and -parallel 8 (%d bytes)", len(m1), len(m8))
 	}
 }

@@ -18,13 +18,18 @@ func (c Config) Fig11(w io.Writer, model string) {
 			wls = append(wls, stmbench.Workload{
 				Model: model, Engine: e, Structure: "rb",
 				MaxNodes: c.Fig11Nodes, Threads: th, ReadPct: 75,
-				OpsPerThr: c.STMOps, Seed: 42,
+				OpsPerThr: c.STMOps, Seed: 42, Obs: c.obsOpt(),
 			})
 		}
 	}
 	results := sweep.Map(c.runner(), len(wls), func(i int) stmbench.Result {
 		return stmbench.Run(wls[i])
 	})
+	if c.Obs != nil {
+		for _, r := range results {
+			c.Obs.Add(r.Obs)
+		}
+	}
 
 	fmt.Fprintf(w, "Figure 11%s — RB-tree (2^8 keys, 75%% read-only): txn time (cycles) by engine, model %s\n",
 		map[string]string{"A": "a", "B": "b"}[model], model)
@@ -58,7 +63,7 @@ func (c Config) Fig12(w io.Writer, model string) {
 				wls = append(wls, stmbench.Workload{
 					Model: model, Engine: e, Structure: structure,
 					MaxNodes: size, Threads: 16, ReadPct: 75,
-					OpsPerThr: c.STMOps, Seed: 42,
+					OpsPerThr: c.STMOps, Seed: 42, Obs: c.obsOpt(),
 				})
 			}
 		}
@@ -66,6 +71,11 @@ func (c Config) Fig12(w io.Writer, model string) {
 	results := sweep.Map(c.runner(), len(wls), func(i int) stmbench.Result {
 		return stmbench.Run(wls[i])
 	})
+	if c.Obs != nil {
+		for _, r := range results {
+			c.Obs.Add(r.Obs)
+		}
+	}
 
 	fmt.Fprintf(w, "Figure 12%s — txn time (cycles), 16 threads, 75%% read-only, model %s\n",
 		map[string]string{"A": "a", "B": "b"}[model], model)

@@ -13,6 +13,7 @@ package coherence
 
 import (
 	"fairrw/internal/memmodel"
+	"fairrw/internal/obs"
 	"fairrw/internal/sim"
 	"fairrw/internal/topo"
 )
@@ -62,6 +63,9 @@ type System struct {
 	l1  []*cacheArray
 	l2  []*cacheArray
 	dir map[memmodel.Addr]*dirEntry
+
+	// Obs, when non-nil, receives cache-transaction records.
+	Obs *obs.Capture
 
 	Stats Stats
 }
@@ -142,6 +146,9 @@ func (s *System) Read(p *sim.Proc, core int, addr memmodel.Addr) uint64 {
 	}
 	s.Stats.L1Misses++
 	lat := s.readMissLatency(core, line, e)
+	if s.Obs != nil {
+		s.Obs.CacheEvent(uint64(s.K.Now()), core, obs.KCacheRd, uint64(line), uint64(lat))
+	}
 	e = s.entry(line) // reload: map may have been touched
 	e.sharers |= 1 << uint(core)
 	if e.owner == core {
@@ -314,6 +321,9 @@ func (s *System) ownLatency(core int, addr memmodel.Addr) sim.Time {
 	e.sharers = 0
 	e.busy = t + lat
 	s.install(core, line)
+	if s.Obs != nil {
+		s.Obs.CacheEvent(uint64(t), core, obs.KCacheOwn, uint64(line), uint64(lat))
+	}
 	return lat
 }
 

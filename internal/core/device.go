@@ -5,6 +5,7 @@ import (
 
 	"fairrw/internal/machine"
 	"fairrw/internal/memmodel"
+	"fairrw/internal/obs"
 	"fairrw/internal/sim"
 	"fairrw/internal/topo"
 )
@@ -79,6 +80,18 @@ func New(m *machine.Machine, opt Options) *Device {
 	m.Lock = d
 	return d
 }
+
+// rec records one protocol event when the machine has tracing attached.
+// The capture is read lazily off the machine so EnableObs may be called
+// any time before Run.
+func (d *Device) rec(node int32, k obs.Kind, addr memmodel.Addr, tid, aux uint64) {
+	if o := d.M.Obs; o != nil {
+		o.Rec(uint64(d.M.K.Now()), node, k, uint64(addr), tid, aux)
+	}
+}
+
+// obsCap returns the machine's capture, or nil when tracing is off.
+func (d *Device) obsCap() *obs.Capture { return d.M.Obs }
 
 func (d *Device) trace(format string, args ...interface{}) {
 	if d.Opt.Trace != nil {

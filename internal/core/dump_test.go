@@ -1,0 +1,84 @@
+package core
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+
+	"fairrw/internal/machine"
+	"fairrw/internal/memmodel"
+)
+
+// TestDumpStateLiveEntries freezes a contended run mid-flight and checks
+// the dump names every live protocol entry: each LCU entry that is not
+// free, and the LRT entry of the contended lock with its current holder
+// and queue tail. The dump is the wedged-state debugging tool, so missing
+// entries would hide exactly the state one is hunting.
+func TestDumpStateLiveEntries(t *testing.T) {
+	m := machine.ModelA()
+	d := New(m, Options{})
+	addr := memmodel.Addr(0x1000)
+
+	const threads = 6
+	for i := 0; i < threads; i++ {
+		tid := uint64(i + 1)
+		m.Spawn("dump", tid, i%m.P.Cores, func(c *machine.Ctx) {
+			c.HwLock(addr, true)
+			c.Compute(200_000) // hold far past the freeze point
+			c.HwUnlock(addr, true)
+		})
+	}
+	// Freeze mid-protocol: one holder plus a queue of waiters.
+	m.K.RunUntil(5_000)
+
+	dump := d.DumpState()
+	if dump == "" {
+		t.Fatal("no live entries at freeze point; the run never contended")
+	}
+
+	// Every allocated LCU entry must be reported with its thread.
+	live := 0
+	for _, u := range d.lcus {
+		all := append([]*entry{}, u.ordinary...)
+		all = append(all, u.local, u.remote)
+		all = append(all, u.forced...)
+		for _, e := range all {
+			if e.status == StatusFree {
+				continue
+			}
+			live++
+			line := fmt.Sprintf("lcu%-3d %-7s t%-4d", u.core, e.status, e.tid)
+			if !strings.Contains(dump, line) {
+				t.Errorf("dump is missing LCU entry %q:\n%s", line, dump)
+			}
+		}
+	}
+	if live < 2 {
+		t.Fatalf("only %d live LCU entries at freeze point, want a contended queue:\n%s", live, dump)
+	}
+
+	// The contended lock's LRT entry must be reported, granted, with a
+	// non-nil queue head.
+	lrtLines := 0
+	for _, l := range strings.Split(dump, "\n") {
+		if strings.HasPrefix(l, "lrt") {
+			lrtLines++
+			if !strings.Contains(l, fmt.Sprintf("%#x", uint64(addr))) {
+				t.Errorf("unexpected LRT entry (wrong address): %q", l)
+			}
+			if !strings.Contains(l, "granted=true") {
+				t.Errorf("LRT entry not granted at freeze point: %q", l)
+			}
+		}
+	}
+	if lrtLines != 1 {
+		t.Fatalf("got %d LRT lines, want exactly 1 (the contended lock):\n%s", lrtLines, dump)
+	}
+
+	// Drain the run to completion: the dump must then be empty (no leaked
+	// entries).
+	m.Run()
+	if rest := d.DumpState(); rest != "" {
+		t.Fatalf("entries leaked after completion:\n%s", rest)
+	}
+}

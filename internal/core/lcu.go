@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"fairrw/internal/memmodel"
+	"fairrw/internal/obs"
 	"fairrw/internal/sim"
 )
 
@@ -135,6 +136,7 @@ func (u *lcu) acquire(p *sim.Proc, tid uint64, addr memmodel.Addr, write bool) b
 		e.nb = e.class != ClassOrdinary
 		d.Stats.Requests++
 		d.trace("lcu%d REQUEST %s t%d %#x nb=%v", u.core, mode(write), tid, addr, e.nb)
+		d.rec(obs.CoreNode(u.core), obs.KReq, addr, tid, flagBits(write, e.nb))
 		nb := e.nb
 		d.toLRT(u.core, addr, func(l *lrt) {
 			l.onRequest(reqMsg{addr: addr, req: nodeRef{valid: true, tid: tid, lcu: u.core, write: write}, nb: nb})
@@ -247,6 +249,10 @@ func (u *lcu) transferLock(e *entry) {
 		prev: nodeRef{valid: true, tid: e.tid, lcu: u.core, write: e.write},
 	}
 	d.trace("lcu%d XFER %#x -> %s", u.core, e.addr, e.next)
+	d.rec(obs.CoreNode(u.core), obs.KXfer, e.addr, e.tid, e.next.tid)
+	if o := d.obsCap(); o != nil {
+		o.TransferStart(uint64(d.M.K.Now()), uint64(e.addr))
+	}
 	to := e.next.lcu
 	e.status = StatusRel
 	d.lcuToLCU(u.core, to, func(v *lcu) { v.onGrant(g) })
@@ -272,6 +278,12 @@ func (u *lcu) onGrant(g grantMsg) {
 		d.Stats.OverflowGrants++
 	}
 	d.trace("lcu%d GRANT t%d %#x head=%v ovf=%v xfer=%d st=%s", u.core, g.tid, g.addr, g.head, g.overflow, g.xfer, e.status)
+	d.rec(obs.CoreNode(u.core), obs.KGrant, g.addr, g.tid, flagBits(g.head, g.overflow, g.fromLRT))
+	if o := d.obsCap(); o != nil {
+		now := uint64(d.M.K.Now())
+		o.TransferEnd(now, uint64(g.addr))
+		o.WaitEnd(now, g.tid)
+	}
 
 	switch e.status {
 	case StatusIssued, StatusWait:
@@ -334,6 +346,10 @@ func (u *lcu) onWait(addr memmodel.Addr, tid uint64) {
 	if e != nil && e.status == StatusIssued {
 		e.status = StatusWait
 		u.d.Stats.Waits++
+		u.d.rec(obs.CoreNode(u.core), obs.KEnq, addr, tid, 0)
+		if o := u.d.obsCap(); o != nil {
+			o.WaitStart(uint64(u.d.M.K.Now()), tid)
+		}
 	}
 }
 
@@ -345,6 +361,7 @@ func (u *lcu) onRetryReq(addr memmodel.Addr, tid uint64) {
 		return
 	}
 	u.d.Stats.Retries++
+	u.d.rec(obs.CoreNode(u.core), obs.KRetry, addr, tid, 0)
 	w := e.waiter
 	e.reset()
 	if w != nil && w.Blocked() {
@@ -357,6 +374,7 @@ func (u *lcu) onRetryReq(addr memmodel.Addr, tid uint64) {
 func (u *lcu) onFwdRequest(m fwdReqMsg) {
 	d := u.d
 	d.trace("lcu%d FWDREQ target t%d %#x req=%s", u.core, m.targetTid, m.addr, m.req)
+	d.rec(obs.CoreNode(u.core), obs.KFwdReq, m.addr, m.req.tid, m.targetTid)
 	e := u.find(m.addr, m.targetTid)
 	if e == nil {
 		// Case (b): the uncontended owner dropped its entry at acquisition;
@@ -407,6 +425,7 @@ func (u *lcu) onFwdRequest(m fwdReqMsg) {
 func (u *lcu) onFwdRelease(m fwdRelMsg) {
 	d := u.d
 	d.Stats.FwdReleases++
+	d.rec(obs.CoreNode(u.core), obs.KFwdRel, m.addr, m.tid, m.searchTid)
 	// Only an entry in ACQ is the thread's actual hold. A same-tid entry in
 	// RCV is a migration duplicate whose grant the timer will pass through
 	// (Section III-C); consuming it here would orphan the real hold.
@@ -443,6 +462,7 @@ func (u *lcu) onFwdRelease(m fwdRelMsg) {
 func (u *lcu) onRelDone(addr memmodel.Addr, tid uint64) {
 	e := u.find(addr, tid)
 	u.d.trace("lcu%d RELDONE t%d %#x found=%v", u.core, tid, addr, e != nil)
+	u.d.rec(obs.CoreNode(u.core), obs.KRelDone, addr, tid, 0)
 	if e != nil && e.status == StatusRel {
 		w := e.waiter
 		e.reset()
@@ -476,6 +496,7 @@ func (u *lcu) armGrantTimer(e *entry) {
 		}
 		d.Stats.GrantTimeouts++
 		d.trace("lcu%d TIMEOUT t%d %#x", u.core, tid, addr)
+		d.rec(obs.CoreNode(u.core), obs.KTimeout, addr, tid, 0)
 		u.timeoutEntry(e)
 	})
 }
@@ -508,6 +529,10 @@ func (u *lcu) timeoutEntry(e *entry) {
 // sendRelease emits a RELEASE to the LRT.
 func (d *Device) sendRelease(u *lcu, tid uint64, addr memmodel.Addr, write, headDrain bool, origHead nodeRef) {
 	d.trace("lcu%d RELEASE %s t%d %#x drain=%v", u.core, mode(write), tid, addr, headDrain)
+	d.rec(obs.CoreNode(u.core), obs.KRel, addr, tid, flagBits(write, headDrain))
+	if o := d.obsCap(); o != nil {
+		o.TransferStart(uint64(d.M.K.Now()), uint64(addr))
+	}
 	d.toLRT(u.core, addr, func(l *lrt) {
 		l.onRelease(relMsg{addr: addr, tid: tid, lcu: u.core, write: write, headDrain: headDrain, origHead: origHead})
 	})
@@ -531,4 +556,15 @@ func mode(write bool) string {
 		return "W"
 	}
 	return "R"
+}
+
+// flagBits packs booleans into a record's aux field, bit i = flags[i].
+func flagBits(flags ...bool) uint64 {
+	var v uint64
+	for i, f := range flags {
+		if f {
+			v |= 1 << uint(i)
+		}
+	}
+	return v
 }

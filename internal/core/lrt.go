@@ -2,6 +2,7 @@ package core
 
 import (
 	"fairrw/internal/memmodel"
+	"fairrw/internal/obs"
 	"fairrw/internal/sim"
 )
 
@@ -158,6 +159,7 @@ func (l *lrt) after(extra sim.Time, f func()) {
 // nonblocking/overflow paths of Section III-D).
 func (l *lrt) onRequest(m reqMsg) {
 	d := l.d
+	d.rec(obs.LRTNode(l.index), obs.KLRTReq, m.addr, m.req.tid, flagBits(m.req.write, m.nb))
 	ent, extra := l.lookup(m.addr)
 
 	if ent == nil {
@@ -168,6 +170,7 @@ func (l *lrt) onRequest(m reqMsg) {
 		ent.granted = true
 		g := grantMsg{addr: m.addr, tid: m.req.tid, head: true, xfer: ent.xfer, fromLRT: true}
 		d.trace("lrt%d GRANT-free %s", l.index, m.req)
+		d.rec(obs.LRTNode(l.index), obs.KLRTGrant, m.addr, m.req.tid, 0)
 		l.after(extra, func() { d.lrtToLCU(l.index, m.req.lcu, func(u *lcu) { u.onGrant(g) }) })
 		return
 	}
@@ -181,6 +184,7 @@ func (l *lrt) onRequest(m reqMsg) {
 				ent.head, ent.tail = m.req, m.req
 				ent.granted = true
 				d.Stats.ResvGrants++
+				d.rec(obs.LRTNode(l.index), obs.KLRTGrant, m.addr, m.req.tid, 1)
 				g := grantMsg{addr: m.addr, tid: m.req.tid, head: true, xfer: ent.xfer, fromLRT: true}
 				l.after(extra, func() { d.lrtToLCU(l.index, m.req.lcu, func(u *lcu) { u.onGrant(g) }) })
 				return
@@ -197,6 +201,7 @@ func (l *lrt) onRequest(m reqMsg) {
 			(!ent.head.valid && ent.readerCnt > 0)
 		if readHeld && !m.req.write {
 			ent.readerCnt++
+			d.rec(obs.LRTNode(l.index), obs.KLRTGrant, m.addr, m.req.tid, 2)
 			g := grantMsg{addr: m.addr, tid: m.req.tid, overflow: true, xfer: ent.xfer, fromLRT: true}
 			l.after(extra, func() { d.lrtToLCU(l.index, m.req.lcu, func(u *lcu) { u.onGrant(g) }) })
 			return
@@ -204,6 +209,7 @@ func (l *lrt) onRequest(m reqMsg) {
 		if ent.free() {
 			ent.head, ent.tail = m.req, m.req
 			ent.granted = true
+			d.rec(obs.LRTNode(l.index), obs.KLRTGrant, m.addr, m.req.tid, 0)
 			g := grantMsg{addr: m.addr, tid: m.req.tid, head: true, xfer: ent.xfer, fromLRT: true}
 			l.after(extra, func() { d.lrtToLCU(l.index, m.req.lcu, func(u *lcu) { u.onGrant(g) }) })
 			return
@@ -223,6 +229,7 @@ func (l *lrt) onRequest(m reqMsg) {
 		ent.head, ent.tail = m.req, m.req
 		if ent.readerCnt == 0 || !m.req.write {
 			ent.granted = true
+			d.rec(obs.LRTNode(l.index), obs.KLRTGrant, m.addr, m.req.tid, 0)
 			g := grantMsg{addr: m.addr, tid: m.req.tid, head: true, xfer: ent.xfer, fromLRT: true}
 			l.after(extra, func() { d.lrtToLCU(l.index, m.req.lcu, func(u *lcu) { u.onGrant(g) }) })
 			return
@@ -248,10 +255,12 @@ func (l *lrt) onRequest(m reqMsg) {
 		lrtXfer:      ent.xfer,
 	}
 	d.trace("lrt%d FWD %s -> tail %s", l.index, m.req, oldTail)
+	d.rec(obs.LRTNode(l.index), obs.KFwdReq, m.addr, m.req.tid, oldTail.tid)
 	l.after(extra, func() { d.lrtToLCU(l.index, oldTail.lcu, func(u *lcu) { u.onFwdRequest(fw) }) })
 }
 
 func (l *lrt) retryReq(extra sim.Time, m reqMsg) {
+	l.d.rec(obs.LRTNode(l.index), obs.KRetry, m.addr, m.req.tid, 0)
 	tid := m.req.tid
 	addr := m.addr
 	l.after(extra, func() {
@@ -262,6 +271,7 @@ func (l *lrt) retryReq(extra sim.Time, m reqMsg) {
 // onRelease processes a RELEASE (Sections III-A, III-B, III-C, III-D).
 func (l *lrt) onRelease(m relMsg) {
 	d := l.d
+	d.rec(obs.LRTNode(l.index), obs.KLRTRel, m.addr, m.tid, flagBits(m.write, m.headDrain))
 	ent, extra := l.lookup(m.addr)
 	ackTo := m.lcu
 	tid := m.tid
@@ -324,6 +334,7 @@ func (l *lrt) onRelease(m relMsg) {
 			if ent.head.write && ent.waitingWriters > 0 {
 				ent.waitingWriters--
 			}
+			d.rec(obs.LRTNode(l.index), obs.KLRTGrant, m.addr, ent.head.tid, 0)
 			g := grantMsg{addr: m.addr, tid: ent.head.tid, head: true, xfer: ent.xfer, fromLRT: true}
 			hlcu := ent.head.lcu
 			l.after(extra, func() { d.lrtToLCU(l.index, hlcu, func(u *lcu) { u.onGrant(g) }) })
@@ -367,6 +378,7 @@ func (l *lrt) finishHeadRelease(ent *lrtEntry, extra sim.Time, m relMsg, ack fun
 // acknowledges the previous holder (Figure 5).
 func (l *lrt) onHeadNotify(m headNotifyMsg) {
 	d := l.d
+	d.rec(obs.LRTNode(l.index), obs.KLRTHead, m.addr, m.newHead.tid, m.xfer)
 	ent, extra := l.lookup(m.addr)
 	if ent != nil && m.xfer > ent.xfer {
 		ent.xfer = m.xfer

@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"fairrw/internal/memmodel"
+	"fairrw/internal/obs"
 	"fairrw/internal/sim"
 )
 
@@ -132,9 +133,14 @@ func (c *Ctx) Rel(addr memmodel.Addr, write bool) bool {
 // granted: the paper's lock() loop of Figure 2 with event-driven spinning
 // standing in for the local poll.
 func (c *Ctx) HwLock(addr memmodel.Addr, write bool) {
+	t0 := c.P.Now()
 	for !c.Acq(addr, write) {
 		c.ensureRunning()
 		c.M.Lock.WaitEvent(c.P, c.core, c.TID, addr, c.M.P.GrantTimeout)
+	}
+	if o := c.M.Obs; o != nil {
+		now := c.P.Now()
+		o.LockAcquired(uint64(now), c.core, c.TID, uint64(addr), uint64(now-t0), write)
 	}
 }
 
@@ -145,13 +151,21 @@ func (c *Ctx) HwUnlock(addr memmodel.Addr, write bool) {
 		c.ensureRunning()
 		c.M.Lock.WaitEvent(c.P, c.core, c.TID, addr, c.M.P.GrantTimeout)
 	}
+	if o := c.M.Obs; o != nil {
+		o.Unlocked(uint64(c.P.Now()), c.core, c.TID, uint64(addr))
+	}
 }
 
 // HwTryLock attempts the lock a bounded number of acq iterations (Figure
 // 2's trylock()). It reports whether the lock was obtained.
 func (c *Ctx) HwTryLock(addr memmodel.Addr, write bool, retries int) bool {
+	t0 := c.P.Now()
 	for i := 0; i < retries; i++ {
 		if c.Acq(addr, write) {
+			if o := c.M.Obs; o != nil {
+				now := c.P.Now()
+				o.LockAcquired(uint64(now), c.core, c.TID, uint64(addr), uint64(now-t0), write)
+			}
 			return true
 		}
 		c.ensureRunning()
@@ -167,6 +181,9 @@ func (c *Ctx) Migrate(core int) {
 	c.ensureRunning()
 	if core == c.core {
 		return
+	}
+	if o := c.M.Obs; o != nil {
+		o.Rec(uint64(c.P.Now()), obs.CoreNode(c.core), obs.KMigrate, 0, c.TID, uint64(core))
 	}
 	c.M.sched[c.core].remove(c)
 	c.core = core

@@ -16,6 +16,7 @@ import (
 
 	"fairrw/internal/coherence"
 	"fairrw/internal/memmodel"
+	"fairrw/internal/obs"
 	"fairrw/internal/sim"
 	"fairrw/internal/topo"
 )
@@ -67,6 +68,11 @@ type Machine struct {
 	P    Params
 	Lock LockDevice
 	Rand *rand.Rand
+
+	// Obs is the machine's observability capture, nil unless EnableObs was
+	// called. Devices read it lazily per event, so it may be attached any
+	// time before Run.
+	Obs *obs.Capture
 
 	sched []*coreSched
 }
@@ -125,6 +131,23 @@ func newMachine(k *sim.Kernel, net *topo.Network, mem *memmodel.Memory, sys *coh
 		m.sched[i] = &coreSched{core: i}
 	}
 	return m
+}
+
+// EnableObs attaches an observability capture to the machine and every
+// instrumented subsystem (kernel, interconnect, memory system). name
+// labels the run in exported traces. It returns the capture so a harness
+// can collect it after the run.
+func (m *Machine) EnableObs(o obs.Options, name string) *obs.Capture {
+	links := make([]string, len(m.Net.Links))
+	for i, l := range m.Net.Links {
+		links[i] = l.Name
+	}
+	cap := obs.New(o, obs.Meta{Name: name, Cores: m.P.Cores, LRTs: m.P.NumMem, Links: links})
+	m.Obs = cap
+	m.K.Obs = cap
+	m.Net.Obs = cap
+	m.Sys.Obs = cap
+	return cap
 }
 
 // Run executes the simulation to completion and returns the final cycle.

@@ -1,5 +1,7 @@
 package machine
 
+import "fairrw/internal/obs"
+
 // coreSched multiplexes simulated threads onto one core with round-robin
 // timeslicing. With at most one thread per core (the common case) it adds
 // no overhead and never preempts; oversubscribed cores rotate every
@@ -57,6 +59,9 @@ func (s *coreSched) dispatch(c *Ctx) {
 func (s *coreSched) rotate(m *Machine) {
 	if len(s.ctxs) < 2 {
 		return
+	}
+	if m.Obs != nil {
+		m.Obs.Rec(uint64(m.K.Now()), obs.CoreNode(s.core), obs.KPreempt, 0, s.ctxs[s.cur].TID, 0)
 	}
 	s.ctxs[s.cur].running = false
 	s.cur = (s.cur + 1) % len(s.ctxs)

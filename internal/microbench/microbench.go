@@ -14,6 +14,7 @@ import (
 
 	"fairrw/internal/core"
 	"fairrw/internal/machine"
+	"fairrw/internal/obs"
 	"fairrw/internal/sim"
 	"fairrw/internal/ssb"
 	"fairrw/internal/swlocks"
@@ -30,6 +31,8 @@ type Config struct {
 	Gap        sim.Time
 	Seed       int64
 	FLT        int // FLT slots for the lcu ablation (0 = off)
+	// Obs enables observability capture for the run (zero value = off).
+	Obs obs.Options
 }
 
 // ErrNoIterations reports a run in which no thread completed a single
@@ -53,6 +56,9 @@ type Result struct {
 	Messages uint64
 	// MaxOverMin is the unfairness ratio of acquisition counts.
 	MaxOverMin float64
+	// Obs is the run's observability capture (nil unless Config.Obs asked
+	// for one).
+	Obs *obs.Capture
 }
 
 // NewMachine builds a machine for the named model.
@@ -108,11 +114,21 @@ func Run(cfg Config) Result {
 	m := NewMachine(cfg.Model)
 	l := MakeLock(m, cfg.Lock, cfg.FLT)
 
+	var cap *obs.Capture
+	if cfg.Obs.Enabled() {
+		cap = m.EnableObs(cfg.Obs, fmt.Sprintf("%s/%s t=%d w=%d%%", cfg.Model, cfg.Lock, cfg.Threads, cfg.WritePct))
+		if _, hw := l.(*swlocks.HWLock); !hw {
+			// Hardware locks are traced by Ctx.HwLock; software locks need
+			// the wrapper.
+			l = swlocks.Trace(l, 1)
+		}
+	}
+
 	iters := cfg.TotalIters / cfg.Threads
 	if iters == 0 {
 		iters = 1
 	}
-	res := Result{Config: cfg, PerThread: make([]int, cfg.Threads)}
+	res := Result{Config: cfg, PerThread: make([]int, cfg.Threads), Obs: cap}
 	var writerWaits []float64
 
 	for i := 0; i < cfg.Threads; i++ {
@@ -142,7 +158,7 @@ func Run(cfg Config) Result {
 		did += n
 	}
 	if did == 0 {
-		return Result{Config: cfg, PerThread: res.PerThread, Err: ErrNoIterations}
+		return Result{Config: cfg, PerThread: res.PerThread, Err: ErrNoIterations, Obs: cap}
 	}
 	res.TotalCycles = m.K.Now()
 	res.CyclesPerCS = float64(res.TotalCycles) / float64(did)

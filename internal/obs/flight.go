@@ -1,0 +1,88 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+)
+
+// String names the event kind for the flight recorder and trace export.
+func (k Kind) String() string {
+	switch k {
+	case KReq:
+		return "REQ"
+	case KEnq:
+		return "ENQ"
+	case KGrant:
+		return "GRANT"
+	case KAcq:
+		return "ACQ"
+	case KUnlock:
+		return "UNLOCK"
+	case KRel:
+		return "REL"
+	case KXfer:
+		return "XFER"
+	case KRetry:
+		return "RETRY"
+	case KNack:
+		return "NACK"
+	case KTimeout:
+		return "TIMEOUT"
+	case KFwdReq:
+		return "FWD_REQ"
+	case KFwdRel:
+		return "FWD_REL"
+	case KRelDone:
+		return "REL_DONE"
+	case KLRTReq:
+		return "LRT_REQ"
+	case KLRTGrant:
+		return "LRT_GRANT"
+	case KLRTRel:
+		return "LRT_REL"
+	case KLRTHead:
+		return "LRT_HEAD"
+	case KPreempt:
+		return "PREEMPT"
+	case KMigrate:
+		return "MIGRATE"
+	case KCacheRd:
+		return "CACHE_RD"
+	case KCacheOwn:
+		return "CACHE_OWN"
+	case KKernel:
+		return "KERNEL"
+	}
+	return fmt.Sprintf("Kind(%d)", uint8(k))
+}
+
+// trackName renders a record's track for human consumption.
+func trackName(node int32) string {
+	switch {
+	case node == KernelTrack:
+		return "kernel"
+	case node >= lrtBase:
+		return fmt.Sprintf("lrt%d", node-lrtBase)
+	default:
+		return fmt.Sprintf("core%d", node)
+	}
+}
+
+// WriteFlight renders the last lastN captured records (0 = all) as text:
+// the flight recorder for debugging wedged protocol states, complementing
+// core.DumpState's structural snapshot with the event history that led
+// there.
+func (c *Capture) WriteFlight(w io.Writer, lastN int) {
+	recs := c.Recs
+	if lastN > 0 && len(recs) > lastN {
+		fmt.Fprintf(w, "... %d earlier records elided ...\n", len(recs)-lastN)
+		recs = recs[len(recs)-lastN:]
+	}
+	for _, r := range recs {
+		fmt.Fprintf(w, "[%10d] %-7s %-9s t%-4d %#x aux=%d\n",
+			r.Cycle, trackName(r.Node), r.Kind, r.Tid, r.Lock, r.Aux)
+	}
+	if c.Dropped > 0 {
+		fmt.Fprintf(w, "(%d records dropped at the %d-record cap)\n", c.Dropped, c.Opt.MaxRecords)
+	}
+}

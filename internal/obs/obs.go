@@ -1,0 +1,256 @@
+// Package obs is the simulator's observability layer: a deterministic
+// per-run event capture plus cycle-binned metrics, exportable as Chrome
+// trace-event JSON (viewable in Perfetto), structured metrics JSON, and a
+// plain-text flight recorder for wedged-state debugging.
+//
+// The layer is zero-overhead when disabled: every instrumented call site
+// holds a *Capture pointer and checks it for nil before doing anything, so
+// a run without tracing pays one predictable branch per site and performs
+// no allocation. When enabled, each simulated machine (kernel) owns its
+// own Capture; records are appended in kernel event order, which is
+// deterministic, so a sweep collected in configuration order produces
+// byte-identical output at any worker count.
+//
+// Import discipline: obs depends only on internal/stats and the standard
+// library (cycles travel as plain uint64, not sim.Time), so internal/sim
+// and everything above it may depend on obs without cycles.
+package obs
+
+// Kind classifies one recorded event.
+type Kind uint8
+
+const (
+	// KReq: an LCU (or SSB core side) issued a lock REQUEST.
+	KReq Kind = iota
+	// KEnq: the requestor learned it is enqueued (WAIT ack).
+	KEnq
+	// KGrant: a lock grant arrived at the requesting LCU / core.
+	KGrant
+	// KAcq: a software thread completed a lock acquisition.
+	KAcq
+	// KUnlock: a software thread released a lock.
+	KUnlock
+	// KRel: a RELEASE message was sent toward the lock's home.
+	KRel
+	// KXfer: a direct LCU-to-LCU lock transfer was initiated.
+	KXfer
+	// KRetry: a request was RETRYed (LCU) — the software must re-issue.
+	KRetry
+	// KNack: an SSB acquire attempt was refused at the home bank.
+	KNack
+	// KTimeout: a grant timer fired (suspended/migrated requestor).
+	KTimeout
+	// KFwdReq: an enqueue was forwarded to a queue tail.
+	KFwdReq
+	// KFwdRel: a release was forwarded through the queue (migration).
+	KFwdRel
+	// KRelDone: a release was acknowledged complete.
+	KRelDone
+	// KLRTReq: a REQUEST arrived at the home LRT / SSB bank.
+	KLRTReq
+	// KLRTGrant: the LRT granted the lock directly.
+	KLRTGrant
+	// KLRTRel: a RELEASE arrived at the home LRT / SSB bank.
+	KLRTRel
+	// KLRTHead: a head-update notification arrived at the LRT.
+	KLRTHead
+	// KPreempt: the scheduler preempted a thread at quantum end.
+	KPreempt
+	// KMigrate: a thread migrated to another core.
+	KMigrate
+	// KCacheRd: a coherent read miss completed (aux = latency).
+	KCacheRd
+	// KCacheOwn: an exclusive-ownership transaction completed (aux = latency).
+	KCacheOwn
+	// KKernel: a raw simulation-kernel event dispatch (very verbose).
+	KKernel
+)
+
+// Record is one captured event: 32 bytes, appended by value.
+type Record struct {
+	Cycle uint64 // virtual time of the event
+	Lock  uint64 // lock (or cache line) address; 0 when not applicable
+	Tid   uint64 // software thread id; 0 when not applicable
+	Aux   uint64 // kind-specific detail (latency, flags, target core...)
+	Node  int32  // track: CoreNode/LRTNode/KernelTrack
+	Kind  Kind
+}
+
+// Track numbering: cores occupy [0, lrtBase), LRTs [lrtBase, ...), and the
+// kernel gets a single dedicated track.
+const (
+	lrtBase     = 1000
+	KernelTrack = 3000
+)
+
+// CoreNode returns the track id for core i.
+func CoreNode(i int) int32 { return int32(i) }
+
+// LRTNode returns the track id for LRT (or SSB bank) i.
+func LRTNode(i int) int32 { return lrtBase + int32(i) }
+
+// Options selects what a Capture records.
+type Options struct {
+	// Records enables the event log (required for trace export).
+	Records bool
+	// Metrics enables histograms, link occupancy and queue-depth series.
+	Metrics bool
+	// Kernel additionally logs every simulation-kernel event dispatch.
+	// Extremely verbose; off by default even when Records is on.
+	Kernel bool
+	// Cache additionally logs cache-transaction boundaries (misses and
+	// ownership transfers).
+	Cache bool
+	// MaxRecords caps the event log per run; excess events are counted in
+	// Capture.Dropped rather than stored. 0 selects a default.
+	MaxRecords int
+	// BinCycles is the metrics time-series bin width. 0 selects a default.
+	BinCycles uint64
+}
+
+// Enabled reports whether the options ask for any capture at all.
+func (o Options) Enabled() bool { return o.Records || o.Metrics }
+
+// Meta describes the machine a Capture observes, for track naming.
+type Meta struct {
+	Name  string // run label, e.g. "B/ssb t=32 w=100%"
+	Cores int
+	LRTs  int
+	Links []string // link names in topology order (index = link ID)
+}
+
+// Capture is the per-run event and metrics buffer. It is not safe for
+// concurrent use; each simulated machine owns exactly one.
+type Capture struct {
+	Opt  Options
+	Meta Meta
+
+	Recs []Record
+	// Dropped counts records discarded once Recs reached MaxRecords.
+	Dropped uint64
+
+	// M holds the metrics recorder, nil unless Opt.Metrics.
+	M *Metrics
+}
+
+const defaultMaxRecords = 1 << 18
+
+// New builds a Capture for a machine described by meta.
+func New(opt Options, meta Meta) *Capture {
+	if opt.MaxRecords == 0 {
+		opt.MaxRecords = defaultMaxRecords
+	}
+	if opt.BinCycles == 0 {
+		opt.BinCycles = 10_000
+	}
+	c := &Capture{Opt: opt, Meta: meta}
+	if opt.Metrics {
+		c.M = newMetrics(opt.BinCycles, meta.Links)
+	}
+	return c
+}
+
+// Rec appends one event record (when the event log is enabled).
+func (c *Capture) Rec(cycle uint64, node int32, k Kind, lock, tid, aux uint64) {
+	if !c.Opt.Records {
+		return
+	}
+	if len(c.Recs) >= c.Opt.MaxRecords {
+		c.Dropped++
+		return
+	}
+	c.Recs = append(c.Recs, Record{Cycle: cycle, Lock: lock, Tid: tid, Aux: aux, Node: node, Kind: k})
+}
+
+// KernelEvent records one raw kernel event dispatch (gated on Opt.Kernel).
+func (c *Capture) KernelEvent(cycle uint64, kind byte) {
+	if !c.Opt.Kernel {
+		return
+	}
+	c.Rec(cycle, KernelTrack, KKernel, 0, 0, uint64(kind))
+}
+
+// CacheEvent records a cache-transaction boundary (gated on Opt.Cache).
+// lat is the transaction's total latency; the transaction started at
+// cycle and completes at cycle+lat.
+func (c *Capture) CacheEvent(cycle uint64, core int, k Kind, line, lat uint64) {
+	if !c.Opt.Cache {
+		return
+	}
+	c.Rec(cycle, CoreNode(core), k, line, 0, lat)
+}
+
+// LockAcquired records a completed lock acquisition: the thread waited
+// `waited` cycles between first request and entry. Aux packs the waited
+// time and the access mode (bit 0: write).
+func (c *Capture) LockAcquired(cycle uint64, core int, tid, lock, waited uint64, write bool) {
+	var w uint64
+	if write {
+		w = 1
+	}
+	c.Rec(cycle, CoreNode(core), KAcq, lock, tid, waited<<1|w)
+	if c.M != nil {
+		c.M.Acquire.Add(waited)
+	}
+}
+
+// Unlocked records a lock release by the software thread.
+func (c *Capture) Unlocked(cycle uint64, core int, tid, lock uint64) {
+	c.Rec(cycle, CoreNode(core), KUnlock, lock, tid, 0)
+}
+
+// TransferStart marks the beginning of a lock hand-off (release or direct
+// transfer initiated); TransferEnd on the same lock closes the interval
+// into the transfer-time histogram.
+func (c *Capture) TransferStart(cycle, lock uint64) {
+	if c.M != nil {
+		c.M.transferStart(cycle, lock)
+	}
+}
+
+// TransferEnd closes a transfer interval opened by TransferStart.
+func (c *Capture) TransferEnd(cycle, lock uint64) {
+	if c.M != nil {
+		c.M.transferEnd(cycle, lock)
+	}
+}
+
+// WaitStart marks tid as waiting in some lock queue (grows the live
+// queue-depth series); WaitEnd removes it. Both are idempotent per tid.
+func (c *Capture) WaitStart(cycle, tid uint64) {
+	if c.M != nil {
+		c.M.waitStart(cycle, tid)
+	}
+}
+
+// WaitEnd marks tid as no longer waiting.
+func (c *Capture) WaitEnd(cycle, tid uint64) {
+	if c.M != nil {
+		c.M.waitEnd(cycle, tid)
+	}
+}
+
+// LinkCross charges one message crossing link id at the given cycle: busy
+// is the serialization occupancy, wait the queueing delay behind earlier
+// messages.
+func (c *Capture) LinkCross(id int, cycle, busy, wait uint64) {
+	if c.M != nil {
+		c.M.linkCross(id, cycle, busy, wait)
+	}
+}
+
+// Collector accumulates the Captures of a sweep in configuration order, so
+// serialized output is deterministic at any worker count.
+type Collector struct {
+	// Opt is applied to every run the harness attaches a Capture to.
+	Opt Options
+
+	Caps []*Capture
+}
+
+// Add appends one run's capture (nil captures are skipped).
+func (c *Collector) Add(cap *Capture) {
+	if cap != nil {
+		c.Caps = append(c.Caps, cap)
+	}
+}

@@ -7,7 +7,11 @@
 // run is bit-for-bit reproducible.
 package sim
 
-import "fmt"
+import (
+	"fmt"
+
+	"fairrw/internal/obs"
+)
 
 // Time is a point in virtual time, in cycles.
 type Time uint64
@@ -64,6 +68,11 @@ type Kernel struct {
 	nEvents uint64
 	// MaxEvents aborts the run (panic) when exceeded; 0 means no limit.
 	MaxEvents uint64
+
+	// Obs, when non-nil, receives a record per executed event (gated
+	// further by its own options). The nil check is the only cost tracing
+	// adds to the dispatch loop when disabled.
+	Obs *obs.Capture
 }
 
 // New returns an empty kernel at time 0.
@@ -165,6 +174,9 @@ func (k *Kernel) RunUntil(limit Time) Time {
 			k.now = e.at
 		}
 		k.nEvents++
+		if k.Obs != nil {
+			k.Obs.KernelEvent(uint64(k.now), e.kind)
+		}
 		if k.MaxEvents != 0 && k.nEvents > k.MaxEvents {
 			panic(fmt.Sprintf("sim: event budget exceeded (%d events, now=%d)", k.nEvents, k.now))
 		}

@@ -10,6 +10,7 @@ package ssb
 import (
 	"fairrw/internal/machine"
 	"fairrw/internal/memmodel"
+	"fairrw/internal/obs"
 	"fairrw/internal/sim"
 	"fairrw/internal/topo"
 )
@@ -101,10 +102,24 @@ func (d *Device) roundTrip(p *sim.Proc, core int, addr memmodel.Addr, op func(b 
 	return ok
 }
 
+// rec records one protocol event when the machine has tracing attached.
+func (d *Device) rec(node int32, k obs.Kind, addr memmodel.Addr, tid, aux uint64) {
+	if o := d.M.Obs; o != nil {
+		o.Rec(uint64(d.M.K.Now()), node, k, uint64(addr), tid, aux)
+	}
+}
+
 // Acq requests the lock: one full remote round trip per attempt.
 func (d *Device) Acq(p *sim.Proc, core int, tid uint64, addr memmodel.Addr, write bool) bool {
 	d.Stats.Requests++
+	var w uint64
+	if write {
+		w = 1
+	}
+	d.rec(obs.CoreNode(core), obs.KReq, addr, tid, w)
+	home := int(d.M.Mem.HomeOf(addr))
 	granted := d.roundTrip(p, core, addr, func(b *bank) bool {
+		d.rec(obs.LRTNode(home), obs.KLRTReq, addr, tid, w)
 		e := b.entries[addr]
 		if e == nil {
 			if len(b.entries) >= b.cap {
@@ -132,8 +147,18 @@ func (d *Device) Acq(p *sim.Proc, core int, tid uint64, addr memmodel.Addr, writ
 	})
 	if granted {
 		d.Stats.Grants++
+		d.rec(obs.CoreNode(core), obs.KGrant, addr, tid, w)
+		if o := d.M.Obs; o != nil {
+			now := uint64(d.M.K.Now())
+			o.TransferEnd(now, uint64(addr))
+			o.WaitEnd(now, tid)
+		}
 	} else {
 		d.Stats.Nacks++
+		d.rec(obs.CoreNode(core), obs.KNack, addr, tid, w)
+		if o := d.M.Obs; o != nil {
+			o.WaitStart(uint64(d.M.K.Now()), tid)
+		}
 	}
 	return granted
 }
@@ -144,8 +169,17 @@ func (d *Device) Acq(p *sim.Proc, core int, tid uint64, addr memmodel.Addr, writ
 func (d *Device) Rel(p *sim.Proc, core int, tid uint64, addr memmodel.Addr, write bool) bool {
 	d.Stats.Releases++
 	home := d.M.Mem.HomeOf(addr)
+	var w uint64
+	if write {
+		w = 1
+	}
+	d.rec(obs.CoreNode(core), obs.KRel, addr, tid, w)
+	if o := d.M.Obs; o != nil {
+		o.TransferStart(uint64(d.M.K.Now()), uint64(addr))
+	}
 	d.M.Net.Send(topo.Core(core), topo.Mem(home), func() {
 		d.M.K.Schedule(d.Opt.BankLat, func() {
+			d.rec(obs.LRTNode(int(home)), obs.KLRTRel, addr, tid, w)
 			b := d.banks[home]
 			e := b.entries[addr]
 			if e == nil {

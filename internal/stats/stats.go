@@ -1,11 +1,13 @@
 // Package stats provides the small statistical toolkit used by the
 // benchmark harnesses: means, standard deviations, Student-t 95%
-// confidence intervals (Figure 13 reports them), geometric means and
-// speedup helpers.
+// confidence intervals (Figure 13 reports them), geometric means, speedup
+// helpers, percentiles, and a fixed log-bucket histogram for latency
+// distributions (the observability layer's acquire/transfer metrics).
 package stats
 
 import (
 	"math"
+	"math/bits"
 	"sort"
 )
 
@@ -89,6 +91,152 @@ func Median(xs []float64) float64 {
 		return s[n/2]
 	}
 	return (s[n/2-1] + s[n/2]) / 2
+}
+
+// Percentile returns the p-th percentile (0 <= p <= 100) of xs using
+// linear interpolation between closest ranks. It copies and sorts, so the
+// input is not modified.
+func Percentile(xs []float64, p float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	s := append([]float64(nil), xs...)
+	sort.Float64s(s)
+	if p <= 0 {
+		return s[0]
+	}
+	if p >= 100 {
+		return s[len(s)-1]
+	}
+	rank := p / 100 * float64(len(s)-1)
+	lo := int(math.Floor(rank))
+	hi := int(math.Ceil(rank))
+	if lo == hi {
+		return s[lo]
+	}
+	frac := rank - float64(lo)
+	return s[lo] + frac*(s[hi]-s[lo])
+}
+
+// Histogram counts uint64 samples in fixed logarithmic buckets: exact
+// buckets below histSub, then histSub sub-buckets per power of two, so the
+// relative quantization error is bounded by 1/histSub at any magnitude.
+// The zero value is ready to use, and recording a sample is allocation
+// free — suitable for simulator hot paths.
+type Histogram struct {
+	counts [histSize]uint64
+	n      uint64
+	sum    uint64
+	min    uint64
+	max    uint64
+}
+
+const (
+	histSub  = 4 // sub-buckets per power of two
+	histSize = 256
+)
+
+// histBucket maps a value to its bucket index.
+func histBucket(v uint64) int {
+	if v < histSub {
+		return int(v)
+	}
+	b := bits.Len64(v) - 1 // position of the top bit, >= 2
+	top := v >> uint(b-2)  // top three bits, in [4, 8)
+	return 4*(b-2) + int(top-4) + 4
+}
+
+// histBounds returns the closed value range [lo, hi] of bucket i.
+func histBounds(i int) (lo, hi uint64) {
+	if i < histSub {
+		return uint64(i), uint64(i)
+	}
+	b := (i-histSub)/histSub + 2
+	t := uint64((i-histSub)%histSub + histSub)
+	lo = t << uint(b-2)
+	hi = (t+1)<<uint(b-2) - 1
+	return lo, hi
+}
+
+// Add records one sample.
+func (h *Histogram) Add(v uint64) {
+	h.counts[histBucket(v)]++
+	h.sum += v
+	if h.n == 0 || v < h.min {
+		h.min = v
+	}
+	if v > h.max {
+		h.max = v
+	}
+	h.n++
+}
+
+// Count returns the number of recorded samples.
+func (h *Histogram) Count() uint64 { return h.n }
+
+// Mean returns the arithmetic mean of the recorded samples.
+func (h *Histogram) Mean() float64 {
+	if h.n == 0 {
+		return 0
+	}
+	return float64(h.sum) / float64(h.n)
+}
+
+// Min returns the smallest recorded sample.
+func (h *Histogram) Min() uint64 { return h.min }
+
+// Max returns the largest recorded sample.
+func (h *Histogram) Max() uint64 { return h.max }
+
+// Percentile estimates the p-th percentile (0 <= p <= 100) by locating the
+// bucket holding the target rank and interpolating linearly within it. The
+// result is exact below histSub and within the bucket's bounds above.
+func (h *Histogram) Percentile(p float64) float64 {
+	if h.n == 0 {
+		return 0
+	}
+	if p <= 0 {
+		return float64(h.min)
+	}
+	if p >= 100 {
+		return float64(h.max)
+	}
+	rank := p / 100 * float64(h.n)
+	var cum uint64
+	for i, c := range h.counts {
+		if c == 0 {
+			continue
+		}
+		if float64(cum+c) >= rank {
+			lo, hi := histBounds(i)
+			if hi > h.max {
+				hi = h.max
+			}
+			frac := (rank - float64(cum)) / float64(c)
+			return float64(lo) + frac*float64(hi-lo)
+		}
+		cum += c
+	}
+	return float64(h.max)
+}
+
+// Bucket is one non-empty histogram bucket.
+type Bucket struct {
+	Lo, Hi uint64 // closed value range
+	Count  uint64
+}
+
+// Buckets returns the non-empty buckets in increasing value order.
+func (h *Histogram) Buckets() []Bucket {
+	var out []Bucket
+	for i, c := range h.counts {
+		if c == 0 {
+			continue
+		}
+		lo, hi := histBounds(i)
+		out = append(out, Bucket{Lo: lo, Hi: hi, Count: c})
+	}
+	return out
 }
 
 // MinMax returns the smallest and largest element of xs.

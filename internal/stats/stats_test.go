@@ -106,3 +106,107 @@ func TestStdDevProperty(t *testing.T) {
 		t.Fatal(err)
 	}
 }
+
+// ---------------------------------------------------------------------------
+// Percentile and Histogram (observability-layer metrics).
+
+func TestPercentileExactSmall(t *testing.T) {
+	xs := []float64{40, 10, 20, 30}
+	for _, tc := range []struct{ p, want float64 }{
+		{0, 10}, {100, 40}, {50, 25}, {25, 17.5}, {75, 32.5},
+	} {
+		if got := Percentile(xs, tc.p); !almost(got, tc.want) {
+			t.Errorf("Percentile(%v) = %v, want %v", tc.p, got, tc.want)
+		}
+	}
+	if got := Percentile(nil, 50); got != 0 {
+		t.Errorf("Percentile(nil) = %v, want 0", got)
+	}
+	// The input must not be reordered.
+	if xs[0] != 40 {
+		t.Errorf("Percentile mutated its input: %v", xs)
+	}
+}
+
+func TestHistogramSmallValuesExact(t *testing.T) {
+	var h Histogram
+	for v := uint64(0); v < 4; v++ {
+		h.Add(v)
+	}
+	if h.Count() != 4 || h.Min() != 0 || h.Max() != 3 {
+		t.Fatalf("count/min/max = %d/%d/%d", h.Count(), h.Min(), h.Max())
+	}
+	if !almost(h.Mean(), 1.5) {
+		t.Errorf("mean = %v, want 1.5", h.Mean())
+	}
+	bs := h.Buckets()
+	if len(bs) != 4 {
+		t.Fatalf("buckets = %+v, want 4 exact buckets", bs)
+	}
+	for i, b := range bs {
+		if b.Lo != uint64(i) || b.Hi != uint64(i) || b.Count != 1 {
+			t.Errorf("bucket %d = %+v", i, b)
+		}
+	}
+}
+
+func TestHistogramBucketMonotonic(t *testing.T) {
+	// Bucket index and bounds must be monotone and consistent across
+	// magnitudes: every value lands in a bucket whose range contains it.
+	prev := -1
+	for _, v := range []uint64{0, 1, 2, 3, 4, 5, 7, 8, 15, 16, 100, 1000, 1 << 20, 1<<40 + 12345, 1<<63 + 9} {
+		i := histBucket(v)
+		if i < prev {
+			t.Fatalf("histBucket(%d) = %d < previous %d", v, i, prev)
+		}
+		prev = i
+		lo, hi := histBounds(i)
+		if v < lo || v > hi {
+			t.Errorf("value %d in bucket %d with bounds [%d, %d]", v, i, lo, hi)
+		}
+	}
+	if i := histBucket(^uint64(0)); i >= histSize {
+		t.Fatalf("histBucket(max) = %d out of range", i)
+	}
+}
+
+func TestHistogramPercentiles(t *testing.T) {
+	var h Histogram
+	for v := uint64(1); v <= 1000; v++ {
+		h.Add(v)
+	}
+	// Log-bucket quantization bounds the relative error by 1/histSub.
+	for _, tc := range []struct{ p, want float64 }{
+		{50, 500}, {95, 950}, {99, 990},
+	} {
+		got := h.Percentile(tc.p)
+		if got < tc.want*0.75 || got > tc.want*1.25 {
+			t.Errorf("p%v = %v, want within 25%% of %v", tc.p, got, tc.want)
+		}
+	}
+	if h.Percentile(0) != 1 || h.Percentile(100) != 1000 {
+		t.Errorf("p0/p100 = %v/%v, want 1/1000", h.Percentile(0), h.Percentile(100))
+	}
+	var empty Histogram
+	if empty.Percentile(50) != 0 || empty.Mean() != 0 {
+		t.Error("empty histogram must report zeros")
+	}
+}
+
+func TestHistogramBucketsCoverAllSamples(t *testing.T) {
+	var h Histogram
+	const n = 10_000
+	for i := 0; i < n; i++ {
+		h.Add(uint64(i) * 37 % 4096)
+	}
+	var total uint64
+	for _, b := range h.Buckets() {
+		if b.Lo > b.Hi {
+			t.Errorf("bucket with inverted bounds: %+v", b)
+		}
+		total += b.Count
+	}
+	if total != n {
+		t.Errorf("bucket counts sum to %d, want %d", total, n)
+	}
+}

@@ -6,6 +6,7 @@ import (
 
 	"fairrw/internal/core"
 	"fairrw/internal/machine"
+	"fairrw/internal/obs"
 	"fairrw/internal/sim"
 	"fairrw/internal/ssb"
 	"fairrw/internal/stm"
@@ -28,6 +29,9 @@ type Workload struct {
 	ReadPct   int // percentage of read-only (lookup) transactions
 	OpsPerThr int
 	Seed      int64
+	// Obs enables observability capture for the measured phase (zero
+	// value = off). Population is excluded.
+	Obs obs.Options
 }
 
 // Result reports the measured outcome.
@@ -38,6 +42,9 @@ type Result struct {
 	CommitPerTxn    float64 // dissection: commit phase (incl. aborted tries)
 	AbortsPerCommit float64
 	TotalCycles     sim.Time
+	// Obs is the run's observability capture (nil unless Workload.Obs
+	// asked for one).
+	Obs *obs.Capture
 }
 
 // NewTM builds the machine + device + TM for a workload.
@@ -105,6 +112,13 @@ func Run(w Workload) Result {
 	tm.Commits, tm.Aborts = 0, 0
 	tm.ExecCycles, tm.CommitCycles = 0, 0
 
+	// Attach tracing only now, so the populated structure's setup traffic
+	// stays out of the capture.
+	var cap *obs.Capture
+	if w.Obs.Enabled() {
+		cap = m.EnableObs(w.Obs, fmt.Sprintf("%s/%s/%s t=%d r=%d%%", w.Model, w.Engine, w.Structure, w.Threads, w.ReadPct))
+	}
+
 	var opCycles []float64
 	start := m.K.Now()
 	for i := 0; i < w.Threads; i++ {
@@ -129,7 +143,7 @@ func Run(w Workload) Result {
 	}
 	m.Run()
 
-	r := Result{Workload: w, TotalCycles: m.K.Now() - start}
+	r := Result{Workload: w, TotalCycles: m.K.Now() - start, Obs: cap}
 	sum := 0.0
 	for _, x := range opCycles {
 		sum += x

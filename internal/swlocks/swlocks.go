@@ -288,3 +288,41 @@ func (l *HWLock) Lock(c *machine.Ctx, write bool) { c.HwLock(l.addr, write) }
 
 // Unlock releases through the hardware device.
 func (l *HWLock) Unlock(c *machine.Ctx, write bool) { c.HwUnlock(l.addr, write) }
+
+// ---------------------------------------------------------------------------
+// Traced: observability wrapper for software locks. Hardware locks (HWLock)
+// are already traced at the machine layer by Ctx.HwLock/HwUnlock; wrapping
+// a software lock in Traced gives it the same acquire/release spans and
+// acquire-latency samples in the machine's capture.
+
+// Traced decorates an RWLock with observability records.
+type Traced struct {
+	L RWLock
+	// ID identifies this lock instance in trace records (software locks
+	// have no architectural lock address).
+	ID uint64
+}
+
+// Trace wraps l so its acquisitions are recorded under the given lock id.
+func Trace(l RWLock, id uint64) *Traced { return &Traced{L: l, ID: id} }
+
+// Name implements RWLock.
+func (t *Traced) Name() string { return t.L.Name() }
+
+// Lock acquires the wrapped lock, recording the wait and the acquisition.
+func (t *Traced) Lock(c *machine.Ctx, write bool) {
+	t0 := c.P.Now()
+	t.L.Lock(c, write)
+	if o := c.M.Obs; o != nil {
+		now := c.P.Now()
+		o.LockAcquired(uint64(now), c.Core(), c.TID, t.ID, uint64(now-t0), write)
+	}
+}
+
+// Unlock releases the wrapped lock, recording the release.
+func (t *Traced) Unlock(c *machine.Ctx, write bool) {
+	t.L.Unlock(c, write)
+	if o := c.M.Obs; o != nil {
+		o.Unlocked(uint64(c.P.Now()), c.Core(), c.TID, t.ID)
+	}
+}

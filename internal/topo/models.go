@@ -45,6 +45,10 @@ func NewModelA(k *sim.Kernel, cfg ModelAConfig) *Network {
 		links = append(links, roots[i])
 	}
 
+	for i, l := range links {
+		l.ID = i
+	}
+
 	chipOf := func(n NodeID) int { return n.Index % cfg.Chips }
 
 	return &Network{
@@ -102,6 +106,10 @@ func NewModelB(k *sim.Kernel, cfg ModelBConfig) *Network {
 	for i := range hubs {
 		hubs[i] = &Link{Name: fmt.Sprintf("hubB%d", i), SerLat: cfg.HubSerLat}
 		links = append(links, hubs[i])
+	}
+
+	for i, l := range links {
+		l.ID = i
 	}
 
 	chipOf := func(n NodeID) int {

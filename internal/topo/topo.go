@@ -12,6 +12,7 @@ package topo
 import (
 	"fmt"
 
+	"fairrw/internal/obs"
 	"fairrw/internal/sim"
 )
 
@@ -58,6 +59,7 @@ func (n NodeID) String() string {
 // idle now, and the artificial waits cascade.
 type Link struct {
 	Name   string
+	ID     int      // index into Network.Links (set by the topology builder)
 	SerLat sim.Time // occupancy per message (inverse bandwidth)
 
 	ring [linkRingSize]linkBucket
@@ -124,6 +126,9 @@ type Network struct {
 	Links []*Link
 	Route func(from, to NodeID) (links []*Link, propagation sim.Time)
 
+	// Obs, when non-nil, receives per-link occupancy records.
+	Obs *obs.Capture
+
 	// Stats
 	Sent uint64
 }
@@ -142,7 +147,11 @@ func (n *Network) DelayAt(start sim.Time, from, to NodeID) sim.Time {
 	links, prop := n.Route(from, to)
 	t := start
 	for _, l := range links {
-		t = l.cross(t)
+		t2 := l.cross(t)
+		if n.Obs != nil && l.SerLat > 0 {
+			n.Obs.LinkCross(l.ID, uint64(t), uint64(l.SerLat), uint64(t2-t-l.SerLat))
+		}
+		t = t2
 	}
 	return (t - start) + prop
 }
