@@ -15,8 +15,8 @@ import (
 	"fairrw/internal/swlocks"
 )
 
-func runApp(app string, threads int, lock string, flt int, seed int64, o obs.Options) (float64, *obs.Capture) {
-	m := machine.ModelA()
+func runApp(m *machine.Machine, app string, threads int, lock string, flt int, seed int64, o obs.Options) (float64, *obs.Capture) {
+	m.Reset()
 	switch lock {
 	case "lcu":
 		core.New(m, core.Options{FLTSize: flt})
@@ -73,9 +73,10 @@ func (c Config) Fig13(w io.Writer) {
 		cycles float64
 		obs    *obs.Capture
 	}
-	outs := sweep.Map(c.runner(), len(jobs), func(i int) appOut {
+	pool := machinePool(len(jobs))
+	outs := sweep.MapWorkers(c.runner(), len(jobs), func(w, i int) appOut {
 		j := jobs[i]
-		cy, cap := runApp(j.app, j.threads, j.lock, j.flt, j.seed, c.obsOpt())
+		cy, cap := runApp(pool(w, "A"), j.app, j.threads, j.lock, j.flt, j.seed, c.obsOpt())
 		return appOut{cy, cap}
 	})
 	cycles := make([]float64, len(outs))

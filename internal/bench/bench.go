@@ -15,6 +15,7 @@ import (
 	"io"
 	"text/tabwriter"
 
+	"fairrw/internal/machine"
 	"fairrw/internal/microbench"
 	"fairrw/internal/obs"
 	"fairrw/internal/stats"
@@ -109,6 +110,34 @@ func Default() Config {
 // runner returns the sweep pool for this config.
 func (c Config) runner() sweep.Runner { return sweep.Runner{Workers: c.Parallel} }
 
+// machinePool hands each of up to n sweep workers a lazily-built machine
+// for the requested model, reused (via Reset in the Run* helpers) across
+// that worker's share of the sweep points.
+func machinePool(n int) func(w int, model string) *machine.Machine {
+	pools := make([]map[string]*machine.Machine, n)
+	return func(w int, model string) *machine.Machine {
+		if pools[w] == nil {
+			pools[w] = make(map[string]*machine.Machine, 2)
+		}
+		m := pools[w][model]
+		if m == nil {
+			m = microbench.NewMachine(model)
+			pools[w][model] = m
+		}
+		return m
+	}
+}
+
+// sweepMicro fans the microbenchmark configurations across the pool, with
+// each worker reusing one machine per model across its share of the sweep
+// points. Results come back in enumeration order.
+func (c Config) sweepMicro(cfgs []microbench.Config) []microbench.Result {
+	pool := machinePool(len(cfgs))
+	return sweep.MapWorkers(c.runner(), len(cfgs), func(w, i int) microbench.Result {
+		return microbench.RunOn(pool(w, cfgs[i].Model), cfgs[i])
+	})
+}
+
 // obsOpt returns the per-run capture options (zero value = disabled).
 func (c Config) obsOpt() obs.Options {
 	if c.Obs == nil {
@@ -132,9 +161,7 @@ func (c Config) Fig9(w io.Writer, model string) {
 			}
 		}
 	}
-	results := sweep.Map(c.runner(), len(cfgs), func(i int) microbench.Result {
-		return microbench.Run(cfgs[i])
-	})
+	results := c.sweepMicro(cfgs)
 	if c.Obs != nil {
 		for _, r := range results {
 			c.Obs.Add(r.Obs)
@@ -201,9 +228,7 @@ func (c Config) Fig10(w io.Writer, model string) {
 			}
 		}
 	}
-	results := sweep.Map(c.runner(), len(cfgs), func(i int) microbench.Result {
-		return microbench.Run(cfgs[i])
-	})
+	results := c.sweepMicro(cfgs)
 	if c.Obs != nil {
 		for _, r := range results {
 			c.Obs.Add(r.Obs)

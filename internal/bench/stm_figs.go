@@ -9,6 +9,15 @@ import (
 	"fairrw/internal/sweep"
 )
 
+// sweepSTM fans the STM workloads across the pool, one reused machine per
+// (worker, model). Results come back in enumeration order.
+func (c Config) sweepSTM(wls []stmbench.Workload) []stmbench.Result {
+	pool := machinePool(len(wls))
+	return sweep.MapWorkers(c.runner(), len(wls), func(w, i int) stmbench.Result {
+		return stmbench.RunOn(pool(w, wls[i].Model), wls[i])
+	})
+}
+
 // Fig11 regenerates Figure 11: RB-tree transaction time and commit-phase
 // dissection vs thread count, 75% read-only transactions.
 func (c Config) Fig11(w io.Writer, model string) {
@@ -22,9 +31,7 @@ func (c Config) Fig11(w io.Writer, model string) {
 			})
 		}
 	}
-	results := sweep.Map(c.runner(), len(wls), func(i int) stmbench.Result {
-		return stmbench.Run(wls[i])
-	})
+	results := c.sweepSTM(wls)
 	if c.Obs != nil {
 		for _, r := range results {
 			c.Obs.Add(r.Obs)
@@ -68,9 +75,7 @@ func (c Config) Fig12(w io.Writer, model string) {
 			}
 		}
 	}
-	results := sweep.Map(c.runner(), len(wls), func(i int) stmbench.Result {
-		return stmbench.Run(wls[i])
-	})
+	results := c.sweepSTM(wls)
 	if c.Obs != nil {
 		for _, r := range results {
 			c.Obs.Add(r.Obs)

@@ -1,0 +1,84 @@
+package coherence
+
+import (
+	"testing"
+
+	"fairrw/internal/memmodel"
+	"fairrw/internal/sim"
+	"fairrw/internal/topo"
+)
+
+// tinySystem builds a system whose 2-set 1-way L1 and L2 make conflict
+// misses trivial to provoke: alternating two same-set lines misses both
+// levels every time, driving the full directory + network path.
+func tinySystem(cores int) (*sim.Kernel, *System, *memmodel.Memory) {
+	k := sim.New()
+	net := topo.NewModelA(k, topo.DefaultModelA())
+	mem := memmodel.New(4)
+	sys := New(k, net, mem, Params{
+		Cores: cores, CoresPerChip: 1,
+		L1Lat: 3, L2Lat: 10, DRAMLat: 63, CtrlLat: 6, OpLat: 1,
+		L1Sets: 2, L1Ways: 1, L2Sets: 2, L2Ways: 1,
+	})
+	return k, sys, mem
+}
+
+// TestHotPathNoAllocs asserts the steady-state coherence fast paths —
+// L1-hit read/write, conflict-miss read, and ownership-transfer write —
+// allocate nothing once directory pages and cache arrays are warm.
+func TestHotPathNoAllocs(t *testing.T) {
+	k, sys, mem := tinySystem(4)
+	hit := mem.AllocLine()
+	// Two lines in the same L1 set: reading them alternately misses forever.
+	var missA, missB memmodel.Addr
+	lines := []memmodel.Addr{mem.AllocLine(), mem.AllocLine(), mem.AllocLine(), mem.AllocLine()}
+	missA, missB = lines[0], lines[2]
+	ping := mem.AllocLine()
+
+	k.Spawn("t", func(p *sim.Proc) {
+		// Warm up: materialize directory pages and touch every path once.
+		sys.Read(p, 0, hit)
+		sys.Read(p, 0, missA)
+		sys.Read(p, 0, missB)
+		sys.Write(p, 0, ping, 1)
+		sys.Write(p, 1, ping, 2)
+
+		check := func(name string, f func()) {
+			if avg := testing.AllocsPerRun(100, f); avg != 0 {
+				t.Errorf("%s allocates %.1f/op, want 0", name, avg)
+			}
+		}
+		check("L1-hit Read", func() { sys.Read(p, 0, hit) })
+		check("L1-hit Write", func() { sys.Write(p, 0, hit, 7) })
+		check("conflict-miss Read", func() {
+			sys.Read(p, 0, missA)
+			sys.Read(p, 0, missB)
+		})
+		check("ownership-transfer Write", func() {
+			sys.Write(p, 0, ping, 1)
+			sys.Write(p, 1, ping, 2)
+		})
+	})
+	k.Run()
+}
+
+// BenchmarkCoherentRead measures the read miss path end to end: directory
+// lookup, route-table traversal with link occupancy, and L1 install with
+// eviction. The two addresses conflict in the 1-way L1, so every read is a
+// capacity miss.
+func BenchmarkCoherentRead(b *testing.B) {
+	k, sys, mem := tinySystem(1)
+	lines := []memmodel.Addr{mem.AllocLine(), mem.AllocLine(), mem.AllocLine(), mem.AllocLine()}
+	a, c := lines[0], lines[2]
+	b.ReportAllocs()
+	k.Spawn("bench", func(p *sim.Proc) {
+		sys.Read(p, 0, a)
+		sys.Read(p, 0, c)
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			sys.Read(p, 0, a)
+			sys.Read(p, 0, c)
+		}
+	})
+	k.Run()
+}

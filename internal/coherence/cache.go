@@ -5,9 +5,14 @@ import "fairrw/internal/memmodel"
 // cacheArray is a set-associative presence tracker with LRU replacement.
 // It records which lines a cache holds; coherence *state* lives in the
 // directory, so the array only answers hit/miss and picks victims.
+//
+// All ways live in one flat backing slice (set i occupies
+// ways[i*assoc:(i+1)*assoc]), so building a cache is a single allocation
+// and a set probe walks contiguous memory.
 type cacheArray struct {
-	sets  [][]cacheWay
-	ways  int
+	ways  []cacheWay // nsets * assoc entries
+	nsets int
+	assoc int
 	clock uint64
 
 	Hits, Misses, Evictions uint64
@@ -20,27 +25,33 @@ type cacheWay struct {
 }
 
 func newCacheArray(sets, ways int) *cacheArray {
-	c := &cacheArray{sets: make([][]cacheWay, sets), ways: ways}
-	for i := range c.sets {
-		c.sets[i] = make([]cacheWay, ways)
-	}
-	return c
+	return &cacheArray{ways: make([]cacheWay, sets*ways), nsets: sets, assoc: ways}
 }
 
 func (c *cacheArray) setOf(line memmodel.Addr) []cacheWay {
-	return c.sets[(line>>memmodel.LineShift)%uint64(len(c.sets))]
+	s := int((line >> memmodel.LineShift) % uint64(c.nsets))
+	return c.ways[s*c.assoc : (s+1)*c.assoc]
+}
+
+// findWay returns the index of line within set, or -1. It is the single
+// scan shared by has, peek and invalidate.
+func findWay(set []cacheWay, line memmodel.Addr) int {
+	for i := range set {
+		if set[i].valid && set[i].line == line {
+			return i
+		}
+	}
+	return -1
 }
 
 // has reports whether line is present, updating LRU on hit.
 func (c *cacheArray) has(line memmodel.Addr) bool {
 	set := c.setOf(line)
-	for i := range set {
-		if set[i].valid && set[i].line == line {
-			c.clock++
-			set[i].used = c.clock
-			c.Hits++
-			return true
-		}
+	if i := findWay(set, line); i >= 0 {
+		c.clock++
+		set[i].used = c.clock
+		c.Hits++
+		return true
 	}
 	c.Misses++
 	return false
@@ -48,13 +59,7 @@ func (c *cacheArray) has(line memmodel.Addr) bool {
 
 // peek reports presence without touching LRU or statistics.
 func (c *cacheArray) peek(line memmodel.Addr) bool {
-	set := c.setOf(line)
-	for i := range set {
-		if set[i].valid && set[i].line == line {
-			return true
-		}
-	}
-	return false
+	return findWay(c.setOf(line), line) >= 0
 }
 
 // insert installs line, returning the evicted line (if any).
@@ -62,11 +67,9 @@ func (c *cacheArray) insert(line memmodel.Addr) (victim memmodel.Addr, evicted b
 	set := c.setOf(line)
 	c.clock++
 	// Already present (e.g. upgrade): refresh.
-	for i := range set {
-		if set[i].valid && set[i].line == line {
-			set[i].used = c.clock
-			return 0, false
-		}
+	if i := findWay(set, line); i >= 0 {
+		set[i].used = c.clock
+		return 0, false
 	}
 	// Free way.
 	for i := range set {
@@ -91,11 +94,17 @@ func (c *cacheArray) insert(line memmodel.Addr) (victim memmodel.Addr, evicted b
 // invalidate removes line if present, reporting whether it was.
 func (c *cacheArray) invalidate(line memmodel.Addr) bool {
 	set := c.setOf(line)
-	for i := range set {
-		if set[i].valid && set[i].line == line {
-			set[i].valid = false
-			return true
-		}
+	if i := findWay(set, line); i >= 0 {
+		set[i].valid = false
+		return true
 	}
 	return false
+}
+
+// reset clears all ways and statistics in place, keeping the backing
+// slice, so a reused machine rebuilds no cache arrays.
+func (c *cacheArray) reset() {
+	clear(c.ways)
+	c.clock = 0
+	c.Hits, c.Misses, c.Evictions = 0, 0, 0
 }

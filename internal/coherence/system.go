@@ -42,6 +42,8 @@ type Stats struct {
 	DRAMAccesses        uint64
 }
 
+// dirEntry is the directory state of one coherence line, stored by value
+// inside a dirPage so the steady state allocates nothing per line.
 type dirEntry struct {
 	owner   int    // core holding the line exclusively (M/E), or -1
 	sharers uint64 // bitmask of cores holding the line shared
@@ -53,6 +55,22 @@ type dirEntry struct {
 	busy sim.Time
 }
 
+// dirPageLines is the number of coherence lines per directory page — the
+// lines of one 4 KB memmodel page.
+const dirPageLines = (memmodel.PageWords * 8) / memmodel.LineSize
+
+// dirPage holds the directory entries of one heap page inline.
+type dirPage [dirPageLines]dirEntry
+
+// newDirPage returns a page with every line unowned.
+func newDirPage() *dirPage {
+	p := new(dirPage)
+	for i := range p {
+		p[i].owner = -1
+	}
+	return p
+}
+
 // System is the coherent memory system of one simulated machine.
 type System struct {
 	K   *sim.Kernel
@@ -60,9 +78,19 @@ type System struct {
 	Mem *memmodel.Memory
 	P   Params
 
-	l1  []*cacheArray
-	l2  []*cacheArray
-	dir map[memmodel.Addr]*dirEntry
+	l1 []*cacheArray
+	l2 []*cacheArray
+
+	// dir is the directory, paged in lockstep with the memory heap: entry
+	// pages materialize on first touch and entries are addressed by line
+	// number, so lookups are two loads with no hashing. Lines outside the
+	// heap (never produced by Alloc) fall back to the sparse map.
+	dir    []*dirPage
+	dirOvf map[memmodel.Addr]*dirEntry
+
+	// watchPool recycles watch-list slices drained by wake, so parking and
+	// waking spinners allocates only until the pool warms up.
+	watchPool [][]*sim.Proc
 
 	// Obs, when non-nil, receives cache-transaction records.
 	Obs *obs.Capture
@@ -72,7 +100,7 @@ type System struct {
 
 // New builds a coherent memory system over the given network and memory.
 func New(k *sim.Kernel, net *topo.Network, mem *memmodel.Memory, p Params) *System {
-	s := &System{K: k, Net: net, Mem: mem, P: p, dir: make(map[memmodel.Addr]*dirEntry)}
+	s := &System{K: k, Net: net, Mem: mem, P: p}
 	s.l1 = make([]*cacheArray, p.Cores)
 	for i := range s.l1 {
 		s.l1[i] = newCacheArray(p.L1Sets, p.L1Ways)
@@ -87,18 +115,54 @@ func New(k *sim.Kernel, net *topo.Network, mem *memmodel.Memory, p Params) *Syst
 
 func (s *System) chipOf(core int) int { return core / s.P.CoresPerChip }
 
+// entry returns the directory entry for line, materializing its page on
+// first touch. Pointers stay valid for the lifetime of the System: pages
+// are fixed arrays and are never moved or dropped.
 func (s *System) entry(line memmodel.Addr) *dirEntry {
-	e := s.dir[line]
+	pi := memmodel.PageOf(line)
+	if pi < uint64(len(s.dir)) {
+		p := s.dir[pi]
+		if p == nil {
+			p = newDirPage()
+			s.dir[pi] = p
+		}
+		return &p[(line>>memmodel.LineShift)%dirPageLines]
+	}
+	if line < s.Mem.Brk() {
+		// Heap grew since the last directory touch: extend the page table.
+		for uint64(len(s.dir)) <= pi {
+			s.dir = append(s.dir, nil)
+		}
+		p := newDirPage()
+		s.dir[pi] = p
+		return &p[(line>>memmodel.LineShift)%dirPageLines]
+	}
+	e := s.dirOvf[line]
 	if e == nil {
 		e = &dirEntry{owner: -1}
-		s.dir[line] = e
+		if s.dirOvf == nil {
+			s.dirOvf = make(map[memmodel.Addr]*dirEntry)
+		}
+		s.dirOvf[line] = e
 	}
 	return e
 }
 
+// peekEntry returns the directory entry for line without materializing
+// anything, or nil if the line was never tracked.
+func (s *System) peekEntry(line memmodel.Addr) *dirEntry {
+	if pi := memmodel.PageOf(line); pi < uint64(len(s.dir)) {
+		if p := s.dir[pi]; p != nil {
+			return &p[(line>>memmodel.LineShift)%dirPageLines]
+		}
+		return nil
+	}
+	return s.dirOvf[line]
+}
+
 // evictFrom handles an L1 victim: the directory forgets this core.
 func (s *System) evictFrom(core int, line memmodel.Addr) {
-	e := s.dir[line]
+	e := s.peekEntry(line)
 	if e == nil {
 		return
 	}
@@ -116,9 +180,22 @@ func (s *System) install(core int, line memmodel.Addr) {
 	s.l2[s.chipOf(core)].insert(line)
 }
 
+// watchAppend parks p on e's watch list, drawing a recycled slice from the
+// pool when the entry has none.
+func (s *System) watchAppend(e *dirEntry, p *sim.Proc) {
+	if e.watch == nil {
+		if n := len(s.watchPool); n > 0 {
+			e.watch = s.watchPool[n-1]
+			s.watchPool = s.watchPool[:n-1]
+		}
+	}
+	e.watch = append(e.watch, p)
+}
+
 // wake releases every proc parked on the line's watch list after delay
 // cycles — the point at which the writing transaction completes and its
-// invalidations have reached the spinners.
+// invalidations have reached the spinners. The drained slice returns to
+// the pool for the next watcher instead of being dropped to the GC.
 func (s *System) wake(e *dirEntry, delay sim.Time) {
 	if len(e.watch) == 0 {
 		return
@@ -130,6 +207,8 @@ func (s *System) wake(e *dirEntry, delay sim.Time) {
 			p.Wake(delay)
 		}
 	}
+	clear(ws)
+	s.watchPool = append(s.watchPool, ws[:0])
 }
 
 // Read performs a coherent load of the 8-byte word at addr from core,
@@ -149,7 +228,6 @@ func (s *System) Read(p *sim.Proc, core int, addr memmodel.Addr) uint64 {
 	if s.Obs != nil {
 		s.Obs.CacheEvent(uint64(s.K.Now()), core, obs.KCacheRd, uint64(line), uint64(lat))
 	}
-	e = s.entry(line) // reload: map may have been touched
 	e.sharers |= 1 << uint(core)
 	if e.owner == core {
 		e.owner = -1
@@ -197,9 +275,10 @@ func (s *System) readMissLatency(core int, line memmodel.Addr, e *dirEntry) sim.
 // Write performs a coherent store of v to the word at addr from core.
 func (s *System) Write(p *sim.Proc, core int, addr memmodel.Addr, v uint64) {
 	s.Stats.Writes++
-	lat := s.ownLatency(core, addr)
+	line := memmodel.LineOf(addr)
+	e := s.entry(line)
+	lat := s.ownLatency(core, line, e)
 	s.Mem.Write(addr, v)
-	e := s.entry(memmodel.LineOf(addr))
 	s.wake(e, lat)
 	p.Wait(lat)
 }
@@ -209,10 +288,11 @@ func (s *System) Write(p *sim.Proc, core int, addr memmodel.Addr, v uint64) {
 // owned exclusively for the operation.
 func (s *System) RMW(p *sim.Proc, core int, addr memmodel.Addr, f func(old uint64) uint64) uint64 {
 	s.Stats.RMWs++
-	lat := s.ownLatency(core, addr) + s.P.OpLat
+	line := memmodel.LineOf(addr)
+	e := s.entry(line)
+	lat := s.ownLatency(core, line, e) + s.P.OpLat
 	old := s.Mem.Read(addr)
 	s.Mem.Write(addr, f(old))
-	e := s.entry(memmodel.LineOf(addr))
 	s.wake(e, lat)
 	p.Wait(lat)
 	return old
@@ -241,13 +321,11 @@ func (s *System) Swap(p *sim.Proc, core int, addr memmodel.Addr, v uint64) uint6
 	return s.RMW(p, core, addr, func(uint64) uint64 { return v })
 }
 
-// ownLatency acquires exclusive ownership of addr's line for core,
-// computing the latency (hit, upgrade with invalidation fan-out, or full
-// GetM) and updating directory state. Concurrent ownership transfers of
-// one line serialize behind each other.
-func (s *System) ownLatency(core int, addr memmodel.Addr) sim.Time {
-	line := memmodel.LineOf(addr)
-	e := s.entry(line)
+// ownLatency acquires exclusive ownership of e's line for core, computing
+// the latency (hit, upgrade with invalidation fan-out, or full GetM) and
+// updating directory state. Concurrent ownership transfers of one line
+// serialize behind each other.
+func (s *System) ownLatency(core int, line memmodel.Addr, e *dirEntry) sim.Time {
 	me := uint64(1) << uint(core)
 
 	if e.owner == core && s.l1[core].has(line) {
@@ -334,8 +412,7 @@ func (s *System) WaitChange(p *sim.Proc, addr memmodel.Addr, old uint64) {
 	if s.Mem.Read(addr) != old {
 		return
 	}
-	e := s.entry(memmodel.LineOf(addr))
-	e.watch = append(e.watch, p)
+	s.watchAppend(s.entry(memmodel.LineOf(addr)), p)
 	p.Block()
 }
 
@@ -346,7 +423,7 @@ func (s *System) WaitChangeTimeout(p *sim.Proc, addr memmodel.Addr, old uint64, 
 		return true
 	}
 	e := s.entry(memmodel.LineOf(addr))
-	e.watch = append(e.watch, p)
+	s.watchAppend(e, p)
 	ok := p.BlockTimeout(d)
 	if !ok {
 		// Drop the stale registration so a later wake does not hit us.
@@ -363,4 +440,31 @@ func (s *System) WaitChangeTimeout(p *sim.Proc, addr memmodel.Addr, old uint64, 
 // L1Stats returns hit/miss counters for one core's L1, for tests.
 func (s *System) L1Stats(core int) (hits, misses uint64) {
 	return s.l1[core].Hits, s.l1[core].Misses
+}
+
+// Reset clears all coherence state — caches, directory pages, watch lists
+// and statistics — while keeping every backing array, so a reused machine
+// rebuilds neither cache ways nor directory pages.
+func (s *System) Reset() {
+	for _, c := range s.l1 {
+		c.reset()
+	}
+	for _, c := range s.l2 {
+		c.reset()
+	}
+	for _, p := range s.dir {
+		if p == nil {
+			continue
+		}
+		for i := range p {
+			if w := p[i].watch; w != nil {
+				clear(w)
+				s.watchPool = append(s.watchPool, w[:0])
+			}
+			p[i] = dirEntry{owner: -1}
+		}
+	}
+	s.dirOvf = nil
+	s.Obs = nil
+	s.Stats = Stats{}
 }

@@ -7,7 +7,6 @@ import (
 	"fairrw/internal/memmodel"
 	"fairrw/internal/obs"
 	"fairrw/internal/sim"
-	"fairrw/internal/topo"
 )
 
 // Options tunes the device beyond the machine's Figure-8 parameters.
@@ -57,6 +56,11 @@ type Device struct {
 	lcus []*lcu
 	lrts []*lrt
 
+	// msgs is the in-flight protocol message slab (see msg.go); freeMsgs
+	// lists its unused slots.
+	msgs     []devMsg
+	freeMsgs []int32
+
 	Stats Stats
 }
 
@@ -102,28 +106,6 @@ func (d *Device) trace(format string, args ...interface{}) {
 // homeLRT returns the LRT owning addr.
 func (d *Device) homeLRT(addr memmodel.Addr) *lrt {
 	return d.lrts[d.M.Mem.HomeOf(addr)]
-}
-
-// toLRT delivers f at addr's home LRT after network and LRT latency.
-func (d *Device) toLRT(fromCore int, addr memmodel.Addr, f func(l *lrt)) {
-	l := d.homeLRT(addr)
-	d.M.Net.Send(topo.Core(fromCore), topo.Mem(l.index), func() {
-		d.M.K.Schedule(d.M.P.LRTLat, func() { f(l) })
-	})
-}
-
-// lrtToLCU delivers f at the target LCU after network and LCU latency.
-func (d *Device) lrtToLCU(fromLRT, toCore int, f func(u *lcu)) {
-	d.M.Net.Send(topo.Mem(fromLRT), topo.Core(toCore), func() {
-		d.M.K.Schedule(d.M.P.LCULat, func() { f(d.lcus[toCore]) })
-	})
-}
-
-// lcuToLCU delivers f at the target LCU after network and LCU latency.
-func (d *Device) lcuToLCU(fromCore, toCore int, f func(u *lcu)) {
-	d.M.Net.Send(topo.Core(fromCore), topo.Core(toCore), func() {
-		d.M.K.Schedule(d.M.P.LCULat, func() { f(d.lcus[toCore]) })
-	})
 }
 
 // Acq implements the Acquire ISA primitive (Section III): non-blocking,

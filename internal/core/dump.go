@@ -26,9 +26,7 @@ func (d *Device) DumpState() string {
 		for _, set := range l.sets {
 			ents = append(ents, set...)
 		}
-		for _, e := range l.overflowTab {
-			ents = append(ents, e)
-		}
+		l.ovfEach(func(e *lrtEntry) { ents = append(ents, e) })
 		for _, e := range ents {
 			fmt.Fprintf(&b, "lrt%-3d %#x head=%s tail=%s granted=%v rdCnt=%d ww=%d xfer=%d resv=%s\n",
 				l.index, e.addr, e.head, e.tail, e.granted, e.readerCnt, e.waitingWriters, e.xfer, e.resv)

@@ -137,10 +137,8 @@ func (u *lcu) acquire(p *sim.Proc, tid uint64, addr memmodel.Addr, write bool) b
 		d.Stats.Requests++
 		d.trace("lcu%d REQUEST %s t%d %#x nb=%v", u.core, mode(write), tid, addr, e.nb)
 		d.rec(obs.CoreNode(u.core), obs.KReq, addr, tid, flagBits(write, e.nb))
-		nb := e.nb
-		d.toLRT(u.core, addr, func(l *lrt) {
-			l.onRequest(reqMsg{addr: addr, req: nodeRef{valid: true, tid: tid, lcu: u.core, write: write}, nb: nb})
-		})
+		d.coreToLRT(u.core, msgOfReq(reqMsg{
+			addr: addr, req: nodeRef{valid: true, tid: tid, lcu: u.core, write: write}, nb: e.nb}))
 		return false
 	}
 
@@ -255,7 +253,7 @@ func (u *lcu) transferLock(e *entry) {
 	}
 	to := e.next.lcu
 	e.status = StatusRel
-	d.lcuToLCU(u.core, to, func(v *lcu) { v.onGrant(g) })
+	d.coreToCore(u.core, to, msgOfGrant(g))
 }
 
 // ---------------------------------------------------------------------------
@@ -320,7 +318,7 @@ func (u *lcu) onGrant(g grantMsg) {
 			fw := grantMsg{addr: e.addr, tid: e.next.tid, head: true, xfer: e.xfer + 1, prev: g.prev}
 			to := e.next.lcu
 			e.reset()
-			d.lcuToLCU(u.core, to, func(v *lcu) { v.onGrant(fw) })
+			d.coreToCore(u.core, to, msgOfGrant(fw))
 			return
 		}
 		// Tail of a fully-drained read queue: release at the LRT on behalf
@@ -337,7 +335,7 @@ func (u *lcu) onGrant(g grantMsg) {
 // propagateReadGrant forwards a (non-head) read grant down the queue.
 func (u *lcu) propagateReadGrant(e *entry) {
 	g := grantMsg{addr: e.addr, tid: e.next.tid, xfer: e.xfer}
-	u.d.lcuToLCU(u.core, e.next.lcu, func(v *lcu) { v.onGrant(g) })
+	u.d.coreToCore(u.core, e.next.lcu, msgOfGrant(g))
 }
 
 // onWait acknowledges that the entry is enqueued.
@@ -396,14 +394,14 @@ func (u *lcu) onFwdRequest(m fwdReqMsg) {
 		g := grantMsg{addr: e.addr, tid: m.req.tid, head: true, xfer: e.xfer + 1,
 			prev: nodeRef{valid: true, tid: e.tid, lcu: u.core, write: e.write}}
 		d.Stats.DirectXfers++
-		d.lcuToLCU(u.core, m.req.lcu, func(v *lcu) { v.onGrant(g) })
+		d.coreToCore(u.core, m.req.lcu, msgOfGrant(g))
 	case StatusSaved:
 		// FLT: the lock is logically free here; grant it away.
 		g := grantMsg{addr: e.addr, tid: m.req.tid, head: true, xfer: e.xfer + 1,
 			prev: nodeRef{valid: true, tid: e.tid, lcu: u.core, write: e.write}}
 		e.status = StatusRel
 		d.Stats.DirectXfers++
-		d.lcuToLCU(u.core, m.req.lcu, func(v *lcu) { v.onGrant(g) })
+		d.coreToCore(u.core, m.req.lcu, msgOfGrant(g))
 	default:
 		e.next = m.req
 		// A tail holding (or sharing) the lock in read mode lets a reader
@@ -411,11 +409,10 @@ func (u *lcu) onFwdRequest(m fwdReqMsg) {
 		holdsRead := !e.write && (e.status == StatusAcq || e.status == StatusRcv || e.status == StatusRdRel)
 		if holdsRead && !m.req.write {
 			g := grantMsg{addr: e.addr, tid: m.req.tid, xfer: e.xfer}
-			d.lcuToLCU(u.core, m.req.lcu, func(v *lcu) { v.onGrant(g) })
+			d.coreToCore(u.core, m.req.lcu, msgOfGrant(g))
 			return
 		}
-		tid := m.req.tid
-		d.lcuToLCU(u.core, m.req.lcu, func(v *lcu) { v.onWait(m.addr, tid) })
+		d.coreToCore(u.core, m.req.lcu, msgSimple(msgWait, m.addr, m.req.tid))
 	}
 }
 
@@ -442,19 +439,19 @@ func (u *lcu) onFwdRelease(m fwdRelMsg) {
 			e.status = StatusRdRel
 		}
 		// Acknowledge the remote releaser so its temporary entry clears.
-		d.lcuToLCU(u.core, m.replyLCU, func(v *lcu) { v.onRelDone(m.addr, m.tid) })
+		d.coreToCore(u.core, m.replyLCU, msgSimple(msgRelDone, m.addr, m.tid))
 		return
 	}
 	// Not here: follow the queue from the named search node.
 	s := u.find(m.addr, m.searchTid)
 	if s == nil || !s.next.valid {
 		// Queue edge raced away; bounce back to the LRT for a fresh look.
-		d.toLRT(u.core, m.addr, func(l *lrt) { l.onRelease(relMsg{addr: m.addr, tid: m.tid, lcu: m.replyLCU, write: m.write}) })
+		d.coreToLRT(u.core, msgOfRel(relMsg{addr: m.addr, tid: m.tid, lcu: m.replyLCU, write: m.write}))
 		return
 	}
 	nm := m
 	nm.searchTid = s.next.tid
-	d.lcuToLCU(u.core, s.next.lcu, func(v *lcu) { v.onFwdRelease(nm) })
+	d.coreToCore(u.core, s.next.lcu, msgOfFwdRel(nm))
 }
 
 // onRelDone finalizes a release: the LRT (or a servicing LCU) confirmed
@@ -533,9 +530,8 @@ func (d *Device) sendRelease(u *lcu, tid uint64, addr memmodel.Addr, write, head
 	if o := d.obsCap(); o != nil {
 		o.TransferStart(uint64(d.M.K.Now()), uint64(addr))
 	}
-	d.toLRT(u.core, addr, func(l *lrt) {
-		l.onRelease(relMsg{addr: addr, tid: tid, lcu: u.core, write: write, headDrain: headDrain, origHead: origHead})
-	})
+	d.coreToLRT(u.core, msgOfRel(relMsg{
+		addr: addr, tid: tid, lcu: u.core, write: write, headDrain: headDrain, origHead: origHead}))
 }
 
 // notifyHead tells the LRT that this entry is the new queue head, so the
@@ -548,7 +544,7 @@ func (d *Device) notifyHead(u *lcu, e *entry, prev nodeRef) {
 		xfer:    e.xfer,
 		prev:    prev,
 	}
-	d.toLRT(u.core, e.addr, func(l *lrt) { l.onHeadNotify(m) })
+	d.coreToLRT(u.core, msgOfHeadNotify(m))
 }
 
 func mode(write bool) string {

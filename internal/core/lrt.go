@@ -34,16 +34,27 @@ func (e *lrtEntry) free() bool {
 	return !e.head.valid && e.readerCnt == 0
 }
 
+// lrtOvfPage holds the memory overflow-table slots for one page's words.
+type lrtOvfPage [memmodel.PageWords]*lrtEntry
+
 // lrt is one Lock Reservation Table: a set-associative hardware table
-// backed by a hash table in main memory for overflow (Section III-E).
+// backed by a table in main memory for overflow (Section III-E).
+//
+// The overflow table is paged like the backing store: displaced entries
+// for word-aligned heap addresses land in a slot table indexed by page and
+// word, so the (rare) overflow path still does no hashing; addresses
+// outside the simulated heap fall back to a sparse map. Entries keep
+// pointer identity across displacement — armResvTimer relies on it.
 type lrt struct {
 	d     *Device
 	index int
 	assoc int
 	sets  [][]*lrtEntry
 
-	overflowTab map[memmodel.Addr]*lrtEntry
-	clock       uint64
+	ovfPages  []*lrtOvfPage               // indexed by PageOf(addr)
+	ovfSparse map[memmodel.Addr]*lrtEntry // unaligned / out-of-heap
+	ovfCount  int
+	clock     uint64
 }
 
 func newLRT(d *Device, index, entries, assoc int) *lrt {
@@ -51,9 +62,99 @@ func newLRT(d *Device, index, entries, assoc int) *lrt {
 	if nsets == 0 {
 		nsets = 1
 	}
-	l := &lrt{d: d, index: index, assoc: assoc, overflowTab: make(map[memmodel.Addr]*lrtEntry)}
+	l := &lrt{d: d, index: index, assoc: assoc}
 	l.sets = make([][]*lrtEntry, nsets)
 	return l
+}
+
+// ovfSlot returns the paged overflow slot for addr, materializing the page
+// when grow is set. It returns nil for addresses the page table cannot
+// index (unaligned or beyond the simulated heap).
+func (l *lrt) ovfSlot(addr memmodel.Addr, grow bool) **lrtEntry {
+	if addr&7 != 0 || addr >= l.d.M.Mem.Brk() {
+		return nil
+	}
+	pi := memmodel.PageOf(addr)
+	if pi >= uint64(len(l.ovfPages)) {
+		if !grow {
+			return nil
+		}
+		l.ovfPages = append(l.ovfPages, make([]*lrtOvfPage, int(pi)+1-len(l.ovfPages))...)
+	}
+	p := l.ovfPages[pi]
+	if p == nil {
+		if !grow {
+			return nil
+		}
+		p = new(lrtOvfPage)
+		l.ovfPages[pi] = p
+	}
+	return &p[(addr>>3)&(memmodel.PageWords-1)]
+}
+
+// ovfPut records a displaced entry in the memory overflow table.
+func (l *lrt) ovfPut(e *lrtEntry) {
+	if s := l.ovfSlot(e.addr, true); s != nil {
+		if *s == nil {
+			l.ovfCount++
+		}
+		*s = e
+		return
+	}
+	if l.ovfSparse == nil {
+		l.ovfSparse = make(map[memmodel.Addr]*lrtEntry)
+	}
+	if _, ok := l.ovfSparse[e.addr]; !ok {
+		l.ovfCount++
+	}
+	l.ovfSparse[e.addr] = e
+}
+
+// ovfPeek returns the overflow entry for addr, or nil. The sparse map is
+// consulted even when a paged slot exists but is empty: the heap may have
+// grown past an address that was out-of-heap when its entry was displaced.
+func (l *lrt) ovfPeek(addr memmodel.Addr) *lrtEntry {
+	if s := l.ovfSlot(addr, false); s != nil && *s != nil {
+		return *s
+	}
+	return l.ovfSparse[addr]
+}
+
+// ovfDel removes the overflow entry for addr, reporting whether one was
+// present.
+func (l *lrt) ovfDel(addr memmodel.Addr) bool {
+	if s := l.ovfSlot(addr, false); s != nil && *s != nil {
+		*s = nil
+		l.ovfCount--
+		return true
+	}
+	if _, ok := l.ovfSparse[addr]; ok {
+		delete(l.ovfSparse, addr)
+		l.ovfCount--
+		return true
+	}
+	return false
+}
+
+// ovfEach calls f for every overflow entry (page-walk order; used only by
+// OS-level operations, never on the protocol path).
+func (l *lrt) ovfEach(f func(e *lrtEntry)) {
+	if l.ovfCount == 0 {
+		return
+	}
+	for _, p := range l.ovfPages {
+		if p == nil {
+			continue
+		}
+		for _, e := range p {
+			if e != nil {
+				f(e)
+			}
+		}
+	}
+	for _, e := range l.ovfSparse {
+		f(e)
+	}
 }
 
 func (l *lrt) setIdx(addr memmodel.Addr) int {
@@ -72,16 +173,16 @@ func (l *lrt) lookup(addr memmodel.Addr) (ent *lrtEntry, extra sim.Time) {
 			return e, 0
 		}
 	}
-	if len(l.overflowTab) == 0 {
+	if l.ovfCount == 0 {
 		return nil, 0
 	}
 	// The overflow flag is set: the memory table must be consulted.
 	extra = l.d.M.P.MemLat
-	e, ok := l.overflowTab[addr]
-	if !ok {
+	e := l.ovfPeek(addr)
+	if e == nil {
 		return nil, extra
 	}
-	delete(l.overflowTab, addr)
+	l.ovfDel(addr)
 	l.d.Stats.LRTOverflowHits++
 	extra += l.place(e)
 	return e, extra
@@ -94,7 +195,7 @@ func (l *lrt) peek(addr memmodel.Addr) *lrtEntry {
 			return e
 		}
 	}
-	return l.overflowTab[addr]
+	return l.ovfPeek(addr)
 }
 
 // place inserts e into its set, evicting the LRU victim to memory if the
@@ -115,7 +216,7 @@ func (l *lrt) place(e *lrtEntry) sim.Time {
 	}
 	victim := l.sets[si][lru]
 	l.sets[si][lru] = e
-	l.overflowTab[victim.addr] = victim
+	l.ovfPut(victim)
 	l.d.Stats.LRTEvictions++
 	return l.d.M.P.MemLat
 }
@@ -137,19 +238,9 @@ func (l *lrt) remove(addr memmodel.Addr) {
 			return
 		}
 	}
-	if _, ok := l.overflowTab[addr]; ok {
-		delete(l.overflowTab, addr)
+	if l.ovfDel(addr) {
 		l.d.Stats.LRTDeletes++
 	}
-}
-
-// after schedules f once the extra (overflow) latency has elapsed.
-func (l *lrt) after(extra sim.Time, f func()) {
-	if extra == 0 {
-		f()
-		return
-	}
-	l.d.M.K.Schedule(extra, f)
 }
 
 // ---------------------------------------------------------------------------
@@ -171,7 +262,7 @@ func (l *lrt) onRequest(m reqMsg) {
 		g := grantMsg{addr: m.addr, tid: m.req.tid, head: true, xfer: ent.xfer, fromLRT: true}
 		d.trace("lrt%d GRANT-free %s", l.index, m.req)
 		d.rec(obs.LRTNode(l.index), obs.KLRTGrant, m.addr, m.req.tid, 0)
-		l.after(extra, func() { d.lrtToLCU(l.index, m.req.lcu, func(u *lcu) { u.onGrant(g) }) })
+		l.reply(extra, m.req.lcu, msgOfGrant(g))
 		return
 	}
 
@@ -186,7 +277,7 @@ func (l *lrt) onRequest(m reqMsg) {
 				d.Stats.ResvGrants++
 				d.rec(obs.LRTNode(l.index), obs.KLRTGrant, m.addr, m.req.tid, 1)
 				g := grantMsg{addr: m.addr, tid: m.req.tid, head: true, xfer: ent.xfer, fromLRT: true}
-				l.after(extra, func() { d.lrtToLCU(l.index, m.req.lcu, func(u *lcu) { u.onGrant(g) }) })
+				l.reply(extra, m.req.lcu, msgOfGrant(g))
 				return
 			}
 		}
@@ -203,7 +294,7 @@ func (l *lrt) onRequest(m reqMsg) {
 			ent.readerCnt++
 			d.rec(obs.LRTNode(l.index), obs.KLRTGrant, m.addr, m.req.tid, 2)
 			g := grantMsg{addr: m.addr, tid: m.req.tid, overflow: true, xfer: ent.xfer, fromLRT: true}
-			l.after(extra, func() { d.lrtToLCU(l.index, m.req.lcu, func(u *lcu) { u.onGrant(g) }) })
+			l.reply(extra, m.req.lcu, msgOfGrant(g))
 			return
 		}
 		if ent.free() {
@@ -211,7 +302,7 @@ func (l *lrt) onRequest(m reqMsg) {
 			ent.granted = true
 			d.rec(obs.LRTNode(l.index), obs.KLRTGrant, m.addr, m.req.tid, 0)
 			g := grantMsg{addr: m.addr, tid: m.req.tid, head: true, xfer: ent.xfer, fromLRT: true}
-			l.after(extra, func() { d.lrtToLCU(l.index, m.req.lcu, func(u *lcu) { u.onGrant(g) }) })
+			l.reply(extra, m.req.lcu, msgOfGrant(g))
 			return
 		}
 		if !ent.resv.valid {
@@ -231,14 +322,13 @@ func (l *lrt) onRequest(m reqMsg) {
 			ent.granted = true
 			d.rec(obs.LRTNode(l.index), obs.KLRTGrant, m.addr, m.req.tid, 0)
 			g := grantMsg{addr: m.addr, tid: m.req.tid, head: true, xfer: ent.xfer, fromLRT: true}
-			l.after(extra, func() { d.lrtToLCU(l.index, m.req.lcu, func(u *lcu) { u.onGrant(g) }) })
+			l.reply(extra, m.req.lcu, msgOfGrant(g))
 			return
 		}
 		// A writer must wait for the overflow readers to drain.
 		ent.granted = false
 		ent.waitingWriters++
-		tid := m.req.tid
-		l.after(extra, func() { d.lrtToLCU(l.index, m.req.lcu, func(u *lcu) { u.onWait(m.addr, tid) }) })
+		l.reply(extra, m.req.lcu, msgSimple(msgWait, m.addr, m.req.tid))
 		return
 	}
 
@@ -256,16 +346,12 @@ func (l *lrt) onRequest(m reqMsg) {
 	}
 	d.trace("lrt%d FWD %s -> tail %s", l.index, m.req, oldTail)
 	d.rec(obs.LRTNode(l.index), obs.KFwdReq, m.addr, m.req.tid, oldTail.tid)
-	l.after(extra, func() { d.lrtToLCU(l.index, oldTail.lcu, func(u *lcu) { u.onFwdRequest(fw) }) })
+	l.reply(extra, oldTail.lcu, msgOfFwdReq(fw))
 }
 
 func (l *lrt) retryReq(extra sim.Time, m reqMsg) {
 	l.d.rec(obs.LRTNode(l.index), obs.KRetry, m.addr, m.req.tid, 0)
-	tid := m.req.tid
-	addr := m.addr
-	l.after(extra, func() {
-		l.d.lrtToLCU(l.index, m.req.lcu, func(u *lcu) { u.onRetryReq(addr, tid) })
-	})
+	l.reply(extra, m.req.lcu, msgSimple(msgRetryReq, m.addr, m.req.tid))
 }
 
 // onRelease processes a RELEASE (Sections III-A, III-B, III-C, III-D).
@@ -277,7 +363,7 @@ func (l *lrt) onRelease(m relMsg) {
 	tid := m.tid
 
 	ack := func() {
-		l.after(extra, func() { d.lrtToLCU(l.index, ackTo, func(u *lcu) { u.onRelDone(m.addr, tid) }) })
+		l.reply(extra, ackTo, msgSimple(msgRelDone, m.addr, tid))
 	}
 
 	if ent == nil {
@@ -290,8 +376,7 @@ func (l *lrt) onRelease(m relMsg) {
 		// The tail of a fully-drained read queue releases on behalf of the
 		// original head (Section III-B).
 		if m.origHead.valid {
-			oh := m.origHead
-			l.after(extra, func() { d.lrtToLCU(l.index, oh.lcu, func(u *lcu) { u.onRelDone(m.addr, oh.tid) }) })
+			l.reply(extra, m.origHead.lcu, msgSimple(msgRelDone, m.addr, m.origHead.tid))
 		}
 		rel := nodeRef{valid: true, tid: m.tid, lcu: m.lcu, write: m.write}
 		if sameRef(ent.tail, rel) {
@@ -302,7 +387,7 @@ func (l *lrt) onRelease(m relMsg) {
 		// request will collect the lock from the releaser's REL entry.
 		ent.head = rel
 		ent.granted = true
-		l.after(extra, func() { d.lrtToLCU(l.index, ackTo, func(u *lcu) { u.onRetryRel(m.addr, tid) }) })
+		l.reply(extra, ackTo, msgSimple(msgRetryRel, m.addr, tid))
 		return
 	}
 
@@ -315,13 +400,12 @@ func (l *lrt) onRelease(m relMsg) {
 			}
 			// A queue exists: a FWD_REQUEST is racing towards the releaser;
 			// tell it to hand the lock over on arrival (Section III-A).
-			l.after(extra, func() { d.lrtToLCU(l.index, ackTo, func(u *lcu) { u.onRetryRel(m.addr, tid) }) })
+			l.reply(extra, ackTo, msgSimple(msgRetryRel, m.addr, tid))
 			return
 		}
 		// Migrated owner with a queue: forward the release to the head node.
 		fw := fwdRelMsg{addr: m.addr, tid: m.tid, write: m.write, replyLCU: m.lcu, searchTid: ent.head.tid}
-		hlcu := ent.head.lcu
-		l.after(extra, func() { d.lrtToLCU(l.index, hlcu, func(u *lcu) { u.onFwdRelease(fw) }) })
+		l.reply(extra, ent.head.lcu, msgOfFwdRel(fw))
 		return
 	}
 
@@ -336,8 +420,7 @@ func (l *lrt) onRelease(m relMsg) {
 			}
 			d.rec(obs.LRTNode(l.index), obs.KLRTGrant, m.addr, ent.head.tid, 0)
 			g := grantMsg{addr: m.addr, tid: ent.head.tid, head: true, xfer: ent.xfer, fromLRT: true}
-			hlcu := ent.head.lcu
-			l.after(extra, func() { d.lrtToLCU(l.index, hlcu, func(u *lcu) { u.onGrant(g) }) })
+			l.reply(extra, ent.head.lcu, msgOfGrant(g))
 		}
 		return
 	}
@@ -345,8 +428,7 @@ func (l *lrt) onRelease(m relMsg) {
 	if ent.head.valid {
 		// Migrated reader (not the head): search the queue (Section III-C).
 		fw := fwdRelMsg{addr: m.addr, tid: m.tid, write: m.write, replyLCU: m.lcu, searchTid: ent.head.tid}
-		hlcu := ent.head.lcu
-		l.after(extra, func() { d.lrtToLCU(l.index, hlcu, func(u *lcu) { u.onFwdRelease(fw) }) })
+		l.reply(extra, ent.head.lcu, msgOfFwdRel(fw))
 		return
 	}
 
@@ -389,8 +471,7 @@ func (l *lrt) onHeadNotify(m headNotifyMsg) {
 		}
 	}
 	if m.prev.valid {
-		prev := m.prev
-		l.after(extra, func() { d.lrtToLCU(l.index, prev.lcu, func(u *lcu) { u.onRelDone(m.addr, prev.tid) }) })
+		l.reply(extra, m.prev.lcu, msgSimple(msgRelDone, m.addr, m.prev.tid))
 	}
 }
 

@@ -74,13 +74,13 @@ func (d *Device) InvalidatePage(pageAddr memmodel.Addr) (invalidated int) {
 				}
 			}
 		}
-		for _, ent := range l.overflowTab {
+		l.ovfEach(func(ent *lrtEntry) {
 			if inPage(ent.addr) && ent.head.valid {
 				ent.tail = ent.head
 				ent.waitingWriters = 0
 				ent.resv = nodeRef{}
 			}
-		}
+		})
 	}
 	return invalidated
 }
@@ -110,8 +110,6 @@ func (u *lcu) acquireIssue(tid uint64, addr memmodel.Addr, write bool) {
 	e.status = StatusIssued
 	e.nb = e.class != ClassOrdinary
 	d.Stats.Requests++
-	nb := e.nb
-	d.toLRT(u.core, addr, func(l *lrt) {
-		l.onRequest(reqMsg{addr: addr, req: nodeRef{valid: true, tid: tid, lcu: u.core, write: write}, nb: nb})
-	})
+	d.coreToLRT(u.core, msgOfReq(reqMsg{
+		addr: addr, req: nodeRef{valid: true, tid: tid, lcu: u.core, write: write}, nb: e.nb}))
 }

@@ -58,8 +58,10 @@ type Params struct {
 	SwitchCost sim.Time // context-switch cost
 }
 
-// Machine is one simulated system instance. Machines are single-use: build
-// one per experiment run.
+// Machine is one simulated system instance. A machine runs one experiment
+// at a time; Reset returns it to its freshly-built state so sweep workers
+// can reuse one machine per model instead of rebuilding caches, directory
+// pages and route tables for every sweep point.
 type Machine struct {
 	K    *sim.Kernel
 	Net  *topo.Network
@@ -152,3 +154,25 @@ func (m *Machine) EnableObs(o obs.Options, name string) *obs.Capture {
 
 // Run executes the simulation to completion and returns the final cycle.
 func (m *Machine) Run() sim.Time { return m.K.Run() }
+
+// Reset returns the machine to its freshly-built state: time zero, empty
+// memory, cold caches and directory, idle links, reseeded Rand, no lock
+// device and no capture attached. Backing storage — cache ways, directory
+// pages, route tables, the kernel's event heap — is kept, so a reused
+// machine allocates almost nothing on its next run. The lock device is
+// per-run state and must be reinstalled after Reset.
+func (m *Machine) Reset() {
+	m.K.Reset()
+	m.Mem.Reset()
+	m.Sys.Reset()
+	m.Net.ResetStats()
+	m.Net.Obs = nil
+	m.Lock = nil
+	m.Obs = nil
+	m.Rand = rand.New(rand.NewSource(0xfa17))
+	for _, s := range m.sched {
+		s.ctxs = s.ctxs[:0]
+		s.cur = 0
+		s.timerArmed = false
+	}
+}

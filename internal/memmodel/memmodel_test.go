@@ -1,6 +1,9 @@
 package memmodel
 
-import "testing"
+import (
+	"math/rand"
+	"testing"
+)
 
 func TestAllocAlignment(t *testing.T) {
 	m := New(4)
@@ -83,5 +86,163 @@ func TestLineOf(t *testing.T) {
 	}
 	if LineOf(0x1200) != 0x1200 {
 		t.Fatal("LineOf not idempotent on aligned addr")
+	}
+}
+
+func TestAllocZeroSizePanics(t *testing.T) {
+	m := New(1)
+	defer func() {
+		if recover() == nil {
+			t.Error("Alloc(0, 8) did not panic")
+		}
+	}()
+	m.Alloc(0, 8)
+}
+
+func TestAllocExhaustionPanics(t *testing.T) {
+	// Both failure shapes must panic rather than wrap brk: a request larger
+	// than the remaining address space, and a size so large that base+size
+	// overflows uint64.
+	for _, size := range []Addr{addrSpace, ^Addr(0) - 7} {
+		func() {
+			m := New(1)
+			defer func() {
+				if recover() == nil {
+					t.Errorf("Alloc(%#x, 8) did not panic", size)
+				}
+			}()
+			m.Alloc(size, 8)
+		}()
+	}
+}
+
+func TestWordAccessNoAllocs(t *testing.T) {
+	m := New(1)
+	a := m.AllocWords(64)
+	if avg := testing.AllocsPerRun(200, func() {
+		m.Write(a+8, 7)
+		if m.Read(a+8) != 7 {
+			t.Fatal("read after write mismatch")
+		}
+		m.Write(a+8, 0)
+	}); avg != 0 {
+		t.Fatalf("heap word access allocates %.1f/op, want 0", avg)
+	}
+}
+
+func TestOverflowMigratesOnGrowth(t *testing.T) {
+	m := New(1)
+	// An aligned word beyond the current brk lands in the overflow map.
+	far := m.Brk() + 4*PageWords*8
+	m.Write(far, 123)
+	if m.Read(far) != 123 {
+		t.Fatal("overflow word not readable")
+	}
+	// Grow the heap past it: the word must migrate into the paged store.
+	for m.Brk() <= far {
+		m.Alloc(PageWords*8, 8)
+	}
+	if m.Read(far) != 123 {
+		t.Fatal("overflow word lost when the heap grew past it")
+	}
+	m.Write(far, 0)
+	if m.Read(far) != 0 {
+		t.Fatal("migrated word not writable")
+	}
+}
+
+// mapStore is the pre-paging sparse word store, kept as the reference
+// oracle for the differential test below.
+type mapStore struct{ words map[Addr]uint64 }
+
+func (s *mapStore) read(a Addr) uint64 { return s.words[a] }
+func (s *mapStore) write(a Addr, v uint64) {
+	if v == 0 {
+		delete(s.words, a)
+		return
+	}
+	s.words[a] = v
+}
+
+// TestDifferentialVsMapStore drives random Alloc/Read/Write/CAS sequences
+// against the paged store and the old map-based store in lockstep,
+// including unaligned and out-of-heap addresses (the overflow path) and
+// heap growth across previously-overflowed words.
+func TestDifferentialVsMapStore(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	m := New(4)
+	oracle := &mapStore{words: make(map[Addr]uint64)}
+
+	var addrs []Addr
+	pick := func() Addr {
+		switch rng.Intn(10) {
+		case 0: // unaligned
+			return addrs[rng.Intn(len(addrs))] + Addr(rng.Intn(8))
+		case 1: // out-of-heap (may later be engulfed by growth)
+			return m.Brk() + Addr(rng.Intn(4*PageWords))*8
+		default:
+			return addrs[rng.Intn(len(addrs))]
+		}
+	}
+	for i := 0; i < 8; i++ {
+		addrs = append(addrs, m.AllocWords(16))
+	}
+
+	for op := 0; op < 20000; op++ {
+		switch rng.Intn(100) {
+		case 0: // occasional growth, sometimes by whole pages
+			n := 1 + rng.Intn(2*PageWords)
+			addrs = append(addrs, m.AllocWords(n))
+		case 1, 2, 3, 4:
+			a := pick()
+			v := uint64(rng.Intn(3)) // include zero: the delete path
+			m.Write(a, v)
+			oracle.write(a, v)
+		case 5, 6: // CAS built from read+write, as the coherence layer does
+			a := pick()
+			old, new := uint64(rng.Intn(3)), uint64(rng.Intn(3))
+			if m.Read(a) == old {
+				m.Write(a, new)
+			}
+			if oracle.read(a) == old {
+				oracle.write(a, new)
+			}
+		default:
+			a := pick()
+			if got, want := m.Read(a), oracle.read(a); got != want {
+				t.Fatalf("op %d: Read(%#x) = %d, oracle says %d", op, a, got, want)
+			}
+		}
+	}
+	// Full sweep: every address either store ever saw must agree.
+	for _, a := range addrs {
+		for off := Addr(0); off < 16*8; off += 8 {
+			if got, want := m.Read(a+off), oracle.read(a+off); got != want {
+				t.Fatalf("final sweep: Read(%#x) = %d, oracle says %d", a+off, got, want)
+			}
+		}
+	}
+	for a, want := range oracle.words {
+		if got := m.Read(a); got != want {
+			t.Fatalf("final sweep: Read(%#x) = %d, oracle says %d", a, got, want)
+		}
+	}
+}
+
+func TestResetClearsButKeepsPages(t *testing.T) {
+	m := New(2)
+	a := m.AllocWords(PageWords * 3)
+	m.Write(a, 9)
+	m.Write(m.Brk()+64, 5) // overflow entry
+	m.Reset()
+	if m.Words() != 0 {
+		t.Fatalf("Words() = %d after Reset, want 0", m.Words())
+	}
+	if m.Brk() != heapBase {
+		t.Fatalf("brk = %#x after Reset, want %#x", m.Brk(), heapBase)
+	}
+	b := m.AllocWords(1)
+	if m.Read(b) != 0 {
+		t.Fatal("reused page not zeroed")
 	}
 }

@@ -97,11 +97,31 @@ func MakeLock(m *machine.Machine, name string, flt int) swlocks.RWLock {
 	panic(fmt.Sprintf("microbench: unknown lock %q", name))
 }
 
-// Run executes the microbenchmark and returns its measurements.
+// Run executes the microbenchmark on a machine built for the occasion and
+// returns its measurements.
 func Run(cfg Config) Result {
 	if cfg.Threads <= 0 {
 		return Result{Config: cfg, Err: ErrNoIterations}
 	}
+	return execOn(NewMachine(cfg.Model), cfg)
+}
+
+// RunOn executes the microbenchmark on m, resetting it first. The machine
+// must have been built for cfg.Model. Reusing one machine across the
+// points of a sweep skips per-point construction of the kernel, caches,
+// directory and route tables; results are identical to Run's.
+func RunOn(m *machine.Machine, cfg Config) Result {
+	if m.P.Name != cfg.Model {
+		panic(fmt.Sprintf("microbench: machine is model %q, config wants %q", m.P.Name, cfg.Model))
+	}
+	if cfg.Threads <= 0 {
+		return Result{Config: cfg, Err: ErrNoIterations}
+	}
+	m.Reset()
+	return execOn(m, cfg)
+}
+
+func execOn(m *machine.Machine, cfg Config) Result {
 	if cfg.TotalIters == 0 {
 		cfg.TotalIters = 8000
 	}
@@ -111,7 +131,6 @@ func Run(cfg Config) Result {
 	if cfg.Gap == 0 {
 		cfg.Gap = 100
 	}
-	m := NewMachine(cfg.Model)
 	l := MakeLock(m, cfg.Lock, cfg.FLT)
 
 	var cap *obs.Capture

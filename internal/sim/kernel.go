@@ -18,20 +18,32 @@ type Time uint64
 
 // Event kinds. The Proc hot paths (Wait, Wake, BlockTimeout) push
 // specialized kinds carrying the target Proc as plain value fields, so no
-// closure is allocated per context switch.
+// closure is allocated per context switch. evRecv extends the same idea to
+// message delivery: the event carries a Receiver plus an opaque tag, so
+// senders that key their in-flight state by tag schedule without any
+// closure allocation.
 const (
 	evFn       byte = iota // run fn
 	evDispatch             // dispatch proc
 	evTimeout              // dispatch proc if still blocked with wakeSeq == wseq
+	evRecv                 // recv.Recv(tag)
 )
+
+// Receiver consumes tagged deliveries scheduled with ScheduleRecv. The tag
+// is opaque to the kernel; receivers typically use it to index a table of
+// pending value-typed messages.
+type Receiver interface {
+	Recv(tag uint64)
+}
 
 // event is a scheduled callback, stored by value in the heap.
 type event struct {
 	at   Time
-	seq  uint64 // tie-breaker: insertion order
-	wseq uint64 // evTimeout: Proc.wakeSeq guard against stale wakeups
-	fn   func() // evFn only
-	proc *Proc  // evDispatch, evTimeout
+	seq  uint64   // tie-breaker: insertion order
+	wseq uint64   // evTimeout: Proc.wakeSeq guard; evRecv: delivery tag
+	fn   func()   // evFn only
+	proc *Proc    // evDispatch, evTimeout
+	recv Receiver // evRecv only
 	kind byte
 }
 
@@ -158,6 +170,14 @@ func (k *Kernel) pushTimeout(delay Time, p *Proc, wseq uint64) {
 	k.push(event{at: k.now + delay, seq: k.seq, proc: p, wseq: wseq, kind: evTimeout})
 }
 
+// ScheduleRecv schedules r.Recv(tag) at now+delay without allocating: the
+// receiver and tag travel as plain event fields. It is the closure-free
+// counterpart of Schedule for message-passing senders.
+func (k *Kernel) ScheduleRecv(delay Time, r Receiver, tag uint64) {
+	k.seq++
+	k.push(event{at: k.now + delay, seq: k.seq, recv: r, wseq: tag, kind: evRecv})
+}
+
 // Run executes events until the queue is empty or every Proc has finished.
 // It returns the final virtual time.
 func (k *Kernel) Run() Time {
@@ -185,6 +205,8 @@ func (k *Kernel) RunUntil(limit Time) Time {
 			e.fn()
 		case evDispatch:
 			k.dispatch(e.proc)
+		case evRecv:
+			e.recv.Recv(e.wseq)
 		default: // evTimeout
 			p := e.proc
 			if p.blocked && p.wakeSeq == e.wseq {
@@ -200,3 +222,19 @@ func (k *Kernel) RunUntil(limit Time) Time {
 
 // Idle reports whether no events are pending.
 func (k *Kernel) Idle() bool { return len(k.events) == 0 }
+
+// Reset returns the kernel to its post-New state — time zero, no events,
+// no procs — while keeping the event heap's backing array, so a reused
+// machine pays no kernel rebuild. Any still-queued events are dropped;
+// callers reset only after a run has drained.
+func (k *Kernel) Reset() {
+	clear(k.events) // release fn/proc/recv references
+	k.events = k.events[:0]
+	clear(k.procs)
+	k.procs = k.procs[:0]
+	k.now = 0
+	k.seq = 0
+	k.limit = ^Time(0)
+	k.nEvents = 0
+	k.Obs = nil
+}

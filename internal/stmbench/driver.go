@@ -58,13 +58,19 @@ func NewTM(model, engine string) (*machine.Machine, *stm.TM) {
 	default:
 		panic(fmt.Sprintf("stmbench: unknown model %q", model))
 	}
+	return m, NewTMOn(m, engine)
+}
+
+// NewTMOn installs the engine's device and a fresh TM on an existing
+// (fresh or Reset) machine.
+func NewTMOn(m *machine.Machine, engine string) *stm.TM {
 	switch engine {
 	case "lcu":
 		core.New(m, core.Options{})
 	case "ssb":
 		ssb.New(m, ssb.Options{})
 	}
-	return m, stm.New(m, engine)
+	return stm.New(m, engine)
 }
 
 // Build creates and populates the named structure with MaxNodes/2 keys.
@@ -95,12 +101,26 @@ func Populate(m *machine.Machine, s Structure, w Workload) {
 	m.Run()
 }
 
-// Run executes the workload and returns measurements.
+// Run executes the workload on a machine built for the occasion.
 func Run(w Workload) Result {
+	m, tm := NewTM(w.Model, w.Engine)
+	return execOn(m, tm, w)
+}
+
+// RunOn executes the workload on m, resetting it first. The machine must
+// have been built for w.Model; results are identical to Run's.
+func RunOn(m *machine.Machine, w Workload) Result {
+	if m.P.Name != w.Model {
+		panic(fmt.Sprintf("stmbench: machine is model %q, workload wants %q", m.P.Name, w.Model))
+	}
+	m.Reset()
+	return execOn(m, NewTMOn(m, w.Engine), w)
+}
+
+func execOn(m *machine.Machine, tm *stm.TM, w Workload) Result {
 	if w.OpsPerThr == 0 {
 		w.OpsPerThr = 200
 	}
-	m, tm := NewTM(w.Model, w.Engine)
 	// The default step budget is sized for huge structures; these walks
 	// touch tens of objects, so doomed attempts (mixed-version pointers)
 	// should die quickly instead of chasing cycles for 100k reads.

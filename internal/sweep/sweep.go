@@ -40,13 +40,21 @@ func (r Runner) workers(n int) int {
 // re-raised on the calling goroutine after the pool drains, so sweeps fail
 // the same way a serial loop would.
 func (r Runner) Run(n int, job func(i int)) {
+	r.RunWorkers(n, func(_, i int) { job(i) })
+}
+
+// RunWorkers is Run for jobs that keep per-worker state: job additionally
+// receives the worker index w, and no two concurrent calls share a w, so
+// the job may reuse state indexed by w — typically a machine that is Reset
+// between runs. Worker indices are dense in [0, min(Workers, n)).
+func (r Runner) RunWorkers(n int, job func(w, i int)) {
 	if n <= 0 {
 		return
 	}
 	w := r.workers(n)
 	if w <= 1 {
 		for i := 0; i < n; i++ {
-			job(i)
+			job(0, i)
 		}
 		return
 	}
@@ -58,7 +66,7 @@ func (r Runner) Run(n int, job func(i int)) {
 	)
 	wg.Add(w)
 	for g := 0; g < w; g++ {
-		go func() {
+		go func(g int) {
 			defer wg.Done()
 			defer func() {
 				if p := recover(); p != nil {
@@ -72,9 +80,9 @@ func (r Runner) Run(n int, job func(i int)) {
 				if i >= n {
 					return
 				}
-				job(i)
+				job(g, i)
 			}
-		}()
+		}(g)
 	}
 	wg.Wait()
 	if panicked != nil {
@@ -87,5 +95,12 @@ func (r Runner) Run(n int, job func(i int)) {
 func Map[T any](r Runner, n int, job func(i int) T) []T {
 	out := make([]T, n)
 	r.Run(n, func(i int) { out[i] = job(i) })
+	return out
+}
+
+// MapWorkers is Map with per-worker state: see RunWorkers.
+func MapWorkers[T any](r Runner, n int, job func(w, i int) T) []T {
+	out := make([]T, n)
+	r.RunWorkers(n, func(w, i int) { out[i] = job(w, i) })
 	return out
 }

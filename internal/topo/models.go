@@ -45,17 +45,10 @@ func NewModelA(k *sim.Kernel, cfg ModelAConfig) *Network {
 		links = append(links, roots[i])
 	}
 
-	for i, l := range links {
-		l.ID = i
-	}
-
 	chipOf := func(n NodeID) int { return n.Index % cfg.Chips }
 
-	return &Network{
-		K:     k,
-		Name:  "modelA",
-		Links: links,
-		Route: func(from, to NodeID) ([]*Link, sim.Time) {
+	return NewNetwork(k, "modelA", links, cfg.Chips, cfg.Chips,
+		func(from, to NodeID) ([]*Link, sim.Time) {
 			if from == to {
 				return nil, 0
 			}
@@ -65,8 +58,7 @@ func NewModelA(k *sim.Kernel, cfg ModelAConfig) *Network {
 			cf, ct := chipOf(from), chipOf(to)
 			root := roots[ct%len(roots)] // plane by destination chip
 			return []*Link{access[cf], root, access[ct]}, cfg.OneWay
-		},
-	}
+		})
 }
 
 // ModelBConfig parameterizes the Model B (4-chip × 8-core m-CMP, Sun T5440
@@ -108,10 +100,6 @@ func NewModelB(k *sim.Kernel, cfg ModelBConfig) *Network {
 		links = append(links, hubs[i])
 	}
 
-	for i, l := range links {
-		l.ID = i
-	}
-
 	chipOf := func(n NodeID) int {
 		if n.Kind == CoreNode {
 			return n.Index / cfg.CoresPerChip
@@ -119,11 +107,8 @@ func NewModelB(k *sim.Kernel, cfg ModelBConfig) *Network {
 		return n.Index / cfg.MemPerChip
 	}
 
-	return &Network{
-		K:     k,
-		Name:  "modelB",
-		Links: links,
-		Route: func(from, to NodeID) ([]*Link, sim.Time) {
+	return NewNetwork(k, "modelB", links, cfg.Chips*cfg.CoresPerChip, cfg.Chips*cfg.MemPerChip,
+		func(from, to NodeID) ([]*Link, sim.Time) {
 			if from == to {
 				return nil, 0
 			}
@@ -133,6 +118,5 @@ func NewModelB(k *sim.Kernel, cfg ModelBConfig) *Network {
 			}
 			h := hubs[(cf*7+ct*3)%cfg.Hubs]
 			return []*Link{xbar[cf], h, xbar[ct]}, cfg.InterOneWay
-		},
-	}
+		})
 }

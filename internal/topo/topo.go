@@ -117,20 +117,86 @@ func (l *Link) Reset() {
 	l.TotalWait = 0
 }
 
-// Network routes messages between nodes. Route returns the ordered shared
+// route is one precomputed source→destination path: the ordered shared
 // links a message crosses plus the total propagation latency (the
 // uncongested one-way latency).
+type route struct {
+	links []*Link
+	prop  sim.Time
+}
+
+// Network routes messages between nodes over an all-pairs route table
+// precomputed at construction, so the per-message path lookup is two
+// index operations and allocates nothing.
 type Network struct {
 	K     *sim.Kernel
 	Name  string
 	Links []*Link
-	Route func(from, to NodeID) (links []*Link, propagation sim.Time)
+
+	numCores int
+	numMems  int
+	routes   []route // [idx(from)*nodes + idx(to)]
 
 	// Obs, when non-nil, receives per-link occupancy records.
 	Obs *obs.Capture
 
 	// Stats
 	Sent uint64
+}
+
+// RouteFunc describes a topology: the shared links a message crosses from
+// one node to another plus the propagation latency. It is evaluated once
+// per node pair when the Network is built, never on the message path.
+type RouteFunc func(from, to NodeID) (links []*Link, propagation sim.Time)
+
+// NewNetwork builds a network over the given links for a machine with
+// numCores cores and numMems memory controllers, precomputing the
+// all-pairs route table from routeOf.
+func NewNetwork(k *sim.Kernel, name string, links []*Link, numCores, numMems int, routeOf RouteFunc) *Network {
+	for i, l := range links {
+		l.ID = i
+	}
+	n := &Network{
+		K: k, Name: name, Links: links,
+		numCores: numCores, numMems: numMems,
+	}
+	nodes := numCores + numMems
+	n.routes = make([]route, nodes*nodes)
+	for fi := 0; fi < nodes; fi++ {
+		for ti := 0; ti < nodes; ti++ {
+			ls, prop := routeOf(n.nodeOf(fi), n.nodeOf(ti))
+			n.routes[fi*nodes+ti] = route{links: ls, prop: prop}
+		}
+	}
+	return n
+}
+
+// idx flattens a NodeID into a route-table index: cores first, then
+// memory controllers.
+func (n *Network) idx(node NodeID) int {
+	if node.Kind == CoreNode {
+		if node.Index >= n.numCores {
+			panic(fmt.Sprintf("topo: %v beyond the %d-core route table", node, n.numCores))
+		}
+		return node.Index
+	}
+	if node.Index >= n.numMems {
+		panic(fmt.Sprintf("topo: %v beyond the %d-controller route table", node, n.numMems))
+	}
+	return n.numCores + node.Index
+}
+
+// nodeOf is the inverse of idx, used when building the table.
+func (n *Network) nodeOf(i int) NodeID {
+	if i < n.numCores {
+		return Core(i)
+	}
+	return Mem(i - n.numCores)
+}
+
+// routeOf returns the precomputed route between two nodes.
+func (n *Network) routeOf(from, to NodeID) *route {
+	return &n.routes[n.idx(from)*(n.numCores+n.numMems)+n.idx(to)]
 }
 
 // Delay computes the one-way delivery latency for a message sent now,
@@ -144,16 +210,16 @@ func (n *Network) Delay(from, to NodeID) sim.Time {
 // (request, forward, reply) charge each leg at the time it actually begins.
 func (n *Network) DelayAt(start sim.Time, from, to NodeID) sim.Time {
 	n.Sent++
-	links, prop := n.Route(from, to)
+	r := n.routeOf(from, to)
 	t := start
-	for _, l := range links {
+	for _, l := range r.links {
 		t2 := l.cross(t)
 		if n.Obs != nil && l.SerLat > 0 {
 			n.Obs.LinkCross(l.ID, uint64(t), uint64(l.SerLat), uint64(t2-t-l.SerLat))
 		}
 		t = t2
 	}
-	return (t - start) + prop
+	return (t - start) + r.prop
 }
 
 // Send delivers a message: it computes the congested one-way latency and
@@ -162,12 +228,19 @@ func (n *Network) Send(from, to NodeID, deliver func()) {
 	n.K.Schedule(n.Delay(from, to), deliver)
 }
 
+// SendTo is the closure-free counterpart of Send: it computes the
+// congested one-way latency and schedules r.Recv(tag) at arrival time via
+// the kernel's value-typed receive event, so high-rate senders allocate
+// nothing per message.
+func (n *Network) SendTo(from, to NodeID, r sim.Receiver, tag uint64) {
+	n.K.ScheduleRecv(n.Delay(from, to), r, tag)
+}
+
 // Uncongested returns the propagation-only latency between two nodes,
 // without charging link occupancy. Used for calibration and for modelling
 // transactions whose queueing is charged elsewhere.
 func (n *Network) Uncongested(from, to NodeID) sim.Time {
-	_, prop := n.Route(from, to)
-	return prop
+	return n.routeOf(from, to).prop
 }
 
 // ResetStats clears all link and network counters.

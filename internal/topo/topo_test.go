@@ -143,3 +143,29 @@ func TestModelBHubSpreading(t *testing.T) {
 		t.Fatalf("only %d hubs carried traffic; routing does not spread load", used)
 	}
 }
+
+// TestDelayAtNoAllocs asserts the per-message path — precomputed route
+// lookup plus link occupancy charging — allocates nothing.
+func TestDelayAtNoAllocs(t *testing.T) {
+	k := sim.New()
+	n := NewModelB(k, DefaultModelB())
+	var tm sim.Time
+	if avg := testing.AllocsPerRun(500, func() {
+		tm += n.DelayAt(tm, Core(0), Core(8))
+		tm += n.DelayAt(tm, Core(3), Mem(2))
+	}); avg != 0 {
+		t.Fatalf("DelayAt allocates %.1f/op, want 0", avg)
+	}
+}
+
+// BenchmarkDelayAt measures the per-message route cost on the model B
+// cross-chip path (3 links: access, hub, access).
+func BenchmarkDelayAt(b *testing.B) {
+	k := sim.New()
+	n := NewModelB(k, DefaultModelB())
+	b.ReportAllocs()
+	var tm sim.Time
+	for i := 0; i < b.N; i++ {
+		tm += n.DelayAt(tm, Core(0), Core(8))
+	}
+}
