@@ -1,0 +1,51 @@
+package fairlock
+
+import "testing"
+
+// TestUncontendedAllocs pins the uncontended fast paths at zero
+// allocations per operation (the CI alloc guard). The read path is
+// measured in both modes: central CAS (bias off) and BRAVO slot publish
+// (bias on).
+func TestUncontendedAllocs(t *testing.T) {
+	var m RWMutex
+	if n := testing.AllocsPerRun(500, func() { m.Lock(); m.Unlock() }); n != 0 {
+		t.Errorf("Lock/Unlock allocates %.1f objects/op, want 0", n)
+	}
+	if n := testing.AllocsPerRun(500, func() { m.RLock(); m.RUnlock() }); n != 0 {
+		t.Errorf("RLock/RUnlock (central) allocates %.1f objects/op, want 0", n)
+	}
+	// The 500 central read grants above flip the read bias on; verify and
+	// measure the slot path.
+	if m.state.Load()&biasBit == 0 {
+		t.Fatal("read bias did not enable after sustained read traffic")
+	}
+	if n := testing.AllocsPerRun(500, func() { m.RLock(); m.RUnlock() }); n != 0 {
+		t.Errorf("RLock/RUnlock (biased) allocates %.1f objects/op, want 0", n)
+	}
+	if n := testing.AllocsPerRun(500, func() {
+		if m.TryRLock() {
+			m.RUnlock()
+		}
+	}); n != 0 {
+		t.Errorf("TryRLock/RUnlock allocates %.1f objects/op, want 0", n)
+	}
+	if n := testing.AllocsPerRun(500, func() {
+		if m.TryLock() {
+			m.Unlock()
+		}
+	}); n != 0 {
+		t.Errorf("TryLock/Unlock allocates %.1f objects/op, want 0", n)
+	}
+
+	var mu Mutex
+	if n := testing.AllocsPerRun(500, func() { mu.Lock(); mu.Unlock() }); n != 0 {
+		t.Errorf("Mutex Lock/Unlock allocates %.1f objects/op, want 0", n)
+	}
+	if n := testing.AllocsPerRun(500, func() {
+		if mu.TryLock() {
+			mu.Unlock()
+		}
+	}); n != 0 {
+		t.Errorf("Mutex TryLock/Unlock allocates %.1f objects/op, want 0", n)
+	}
+}

@@ -1,0 +1,171 @@
+package fairlock
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+)
+
+// The benchmark matrix behind BENCH_fairlock.json: implementation
+// (new fairlock / Ref reference model / sync.RWMutex) × goroutine count ×
+// read ratio × critical-section length. Parallelism is driven through
+// b.SetParallelism so the matrix is meaningful at any GOMAXPROCS.
+//
+// CI runs a short smoke slice of this matrix; regenerate the full matrix
+// with:
+//
+//	GOMAXPROCS=8 go test -run '^$' -bench BenchmarkRWMutex -benchmem ./fairlock
+
+// benchRWLock is the minimal surface the matrix needs; satisfied by
+// RWMutex, RefRWMutex and sync.RWMutex.
+type benchRWLock interface {
+	Lock()
+	Unlock()
+	RLock()
+	RUnlock()
+}
+
+// spin simulates a critical section of roughly fixed length without
+// sleeping or allocating.
+func spin(n int) {
+	for i := 0; i < n; i++ {
+		benchSink++
+	}
+}
+
+var benchSink int
+
+func benchMatrix(b *testing.B, mk func() benchRWLock) {
+	for _, g := range []int{1, 4, 8} {
+		for _, readPct := range []int{100, 95, 90, 50} {
+			for _, cs := range []int{0, 64} {
+				name := fmt.Sprintf("g%d/r%d/cs%d", g, readPct, cs)
+				b.Run(name, func(b *testing.B) {
+					m := mk()
+					b.SetParallelism(g)
+					b.ReportAllocs()
+					b.RunParallel(func(pb *testing.PB) {
+						i := 0
+						for pb.Next() {
+							if i%100 < readPct {
+								m.RLock()
+								spin(cs)
+								m.RUnlock()
+							} else {
+								m.Lock()
+								spin(cs)
+								m.Unlock()
+							}
+							i++
+						}
+					})
+				})
+			}
+		}
+	}
+}
+
+func BenchmarkRWMutex(b *testing.B) {
+	b.Run("fair", func(b *testing.B) { benchMatrix(b, func() benchRWLock { return &RWMutex{} }) })
+	b.Run("ref", func(b *testing.B) { benchMatrix(b, func() benchRWLock { return &RefRWMutex{} }) })
+	b.Run("sync", func(b *testing.B) { benchMatrix(b, func() benchRWLock { return &sync.RWMutex{} }) })
+}
+
+// BenchmarkUncontended measures the single-goroutine fast paths — the
+// 0 allocs/op CAS paths the alloc guard pins.
+func BenchmarkUncontended(b *testing.B) {
+	b.Run("fair/Lock", func(b *testing.B) {
+		var m RWMutex
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			m.Lock()
+			m.Unlock()
+		}
+	})
+	b.Run("fair/RLock", func(b *testing.B) {
+		var m RWMutex
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			m.RLock()
+			m.RUnlock()
+		}
+	})
+	b.Run("ref/Lock", func(b *testing.B) {
+		var m RefRWMutex
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			m.Lock()
+			m.Unlock()
+		}
+	})
+	b.Run("ref/RLock", func(b *testing.B) {
+		var m RefRWMutex
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			m.RLock()
+			m.RUnlock()
+		}
+	})
+	b.Run("sync/Lock", func(b *testing.B) {
+		var m sync.RWMutex
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			m.Lock()
+			m.Unlock()
+		}
+	})
+	b.Run("sync/RLock", func(b *testing.B) {
+		var m sync.RWMutex
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			m.RLock()
+			m.RUnlock()
+		}
+	})
+	b.Run("fair/Mutex", func(b *testing.B) {
+		var m Mutex
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			m.Lock()
+			m.Unlock()
+		}
+	})
+	b.Run("ref/Mutex", func(b *testing.B) {
+		var m RefMutex
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			m.Lock()
+			m.Unlock()
+		}
+	})
+}
+
+// BenchmarkMutexContended compares the contended mutex path (pooled
+// intrusive queue vs per-acquire channel allocation).
+func BenchmarkMutexContended(b *testing.B) {
+	type locker interface {
+		Lock()
+		Unlock()
+	}
+	for _, impl := range []struct {
+		name string
+		mk   func() locker
+	}{
+		{"fair", func() locker { return &Mutex{} }},
+		{"ref", func() locker { return &RefMutex{} }},
+		{"sync", func() locker { return &sync.Mutex{} }},
+	} {
+		b.Run(impl.name, func(b *testing.B) {
+			m := impl.mk()
+			b.SetParallelism(4)
+			b.ReportAllocs()
+			b.RunParallel(func(pb *testing.PB) {
+				for pb.Next() {
+					m.Lock()
+					spin(16)
+					m.Unlock()
+				}
+			})
+		})
+	}
+}

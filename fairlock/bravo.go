@@ -1,0 +1,178 @@
+package fairlock
+
+import (
+	"runtime"
+	"sync/atomic"
+	"time"
+	"unsafe"
+)
+
+// BRAVO-style distributed reader indicator (Dice & Kogan, "BRAVO — Biased
+// Locking for Reader-Writer Locks", USENIX ATC 2018), adapted to the
+// paper's LCU semantics: when the lock is read-biased, readers publish
+// themselves in a per-lock table of padded slots instead of CASing the
+// shared state word, so reader admission scales across cores. A writer
+// revokes the bias and waits for every slot to drain before entering its
+// critical section, which is exactly the read-grant/flush ordering the
+// LCU enforces in hardware.
+//
+// The bias is only ever set while the lock has no writer and no queued
+// waiter, so the slot fast path is taken precisely under the conditions
+// where TryRLock would succeed — admission order is unchanged.
+
+// numSlots is the size of each RWMutex's reader table. Each slot is one
+// 128-byte line, so the table adds 2 KiB to the lock; collisions only
+// cost line sharing, never correctness.
+const numSlots = 16
+
+// rslot is one padded entry of the distributed reader indicator.
+type rslot struct {
+	readers atomic.Int64  // active fast-path readers published here
+	grants  atomic.Uint64 // cumulative fast-path read grants via this slot
+	_       [112]byte     // pad to 128 B against false sharing
+}
+
+// slotIndex hashes the current goroutine to a reader slot from the
+// address of a stack local, the same trick the BRAVO paper uses with the
+// thread's stack pointer: distinct goroutines live on distinct stacks, and
+// the same goroutine's RLock and RUnlock frames sit within the same 8 KiB
+// window, so the pair lands on the same slot without needing a goroutine
+// id. A mismatch (stack growth between lock and unlock, or a
+// cross-goroutine RUnlock) is only a performance event — credit release
+// falls back to the central count and then to scanning the table.
+func slotIndex() uint32 {
+	var x byte
+	return uint32(uintptr(unsafe.Pointer(&x))>>13) % numSlots
+}
+
+// casDecPositive decrements v iff it is currently positive, never driving
+// it below zero.
+func casDecPositive(v *atomic.Int64) bool {
+	for {
+		n := v.Load()
+		if n <= 0 {
+			return false
+		}
+		if v.CompareAndSwap(n, n-1) {
+			return true
+		}
+	}
+}
+
+// drainSlots waits for fast-path readers (published before the bias was
+// revoked) to leave. Every writer runs this after it owns the writer bit
+// and before entering its critical section; with an empty table it is
+// numSlots uncontended loads.
+func (m *RWMutex) drainSlots() { m.drainSlotsUntil(time.Time{}) }
+
+// drainSlotsUntil is drainSlots bounded by a deadline (zero means wait
+// forever). It returns false — with slots possibly still populated — once
+// the deadline passes; timed write acquisitions use this so they can honor
+// their deadline even against a reader that will never leave, e.g. a slot
+// credit held by the calling goroutine itself (an upgrade attempt, which
+// the reference lock resolves by timing out). A populated drain records
+// its cost and inhibits re-enabling the bias for a multiple of it
+// (BRAVO's adaptive revocation policy).
+func (m *RWMutex) drainSlotsUntil(deadline time.Time) bool {
+	if !m.everBiased.Load() {
+		// The bias has never been on, so no reader ever published in a
+		// slot: write-heavy locks skip the table scan entirely.
+		return true
+	}
+	var began time.Time
+	for i := range m.slots {
+		if m.slots[i].readers.Load() == 0 {
+			continue
+		}
+		if began.IsZero() {
+			began = time.Now()
+		}
+		for spins := 0; m.slots[i].readers.Load() != 0; spins++ {
+			if !deadline.IsZero() && !time.Now().Before(deadline) {
+				return false
+			}
+			if spins < 64 {
+				runtime.Gosched()
+			} else {
+				time.Sleep(time.Microsecond)
+			}
+		}
+	}
+	if !began.IsZero() {
+		cost := time.Since(began)
+		m.inhibitUntil.Store(time.Now().Add(biasInhibitMult * cost).UnixNano())
+		m.centralR.Store(0)
+	}
+	return true
+}
+
+// tryEnableBias flips the read bias on when the policy allows it. Bias is
+// only set when there is no writer and no queued waiter, and that holds
+// atomically because both facts live in the same state word as the bias
+// bit.
+func (m *RWMutex) tryEnableBias() {
+	if time.Now().UnixNano() < m.inhibitUntil.Load() {
+		return
+	}
+	s := m.state.Load()
+	if s&(writerBit|biasBit) == 0 && s>>qShift == 0 {
+		// everBiased must be visible before the bias bit is: a writer that
+		// never observes the bias must still scan the table if any reader
+		// could have published there.
+		m.everBiased.Store(true)
+		m.state.CompareAndSwap(s, s|biasBit)
+	}
+}
+
+// retract removes the provisional credit this reader just published in sl
+// after losing the publish/revoke race. If the slot already reads zero, a
+// concurrent RUnlock consumed our credit as if we held the lock (a credit
+// swap — see releaseReadCredit); its own credit is still in the aggregate,
+// so remove one from wherever it now lives.
+func (m *RWMutex) retract(sl *rslot) {
+	if casDecPositive(&sl.readers) {
+		return
+	}
+	m.releaseReadCredit(sl, false)
+}
+
+// releaseReadCredit removes exactly one read credit from the aggregate
+// reader count (sum of all slots plus the central count). It prefers the
+// hashed slot, then the central count, then any slot: credits migrate
+// between counters when an RLock and its RUnlock land on different
+// counters (P migration, cross-goroutine unlock, or a hash collision), but
+// the aggregate — which is all that admission and writer drain depend on —
+// is always conserved. mayPanic distinguishes API misuse (RUnlock of an
+// unheld lock) from the transient window where a concurrent publication or
+// retraction hides the credit; misuse still panics after bounded retries.
+func (m *RWMutex) releaseReadCredit(sl *rslot, mayPanic bool) {
+	for attempt := 0; ; attempt++ {
+		if casDecPositive(&sl.readers) {
+			return
+		}
+		for {
+			s := m.state.Load()
+			if s&readerMask == 0 {
+				break
+			}
+			if m.state.CompareAndSwap(s, s-1) {
+				if s&readerMask == 1 && s>>qShift != 0 {
+					// Last central reader out with waiters queued.
+					m.qmu.Lock()
+					m.admit()
+					m.qmu.Unlock()
+				}
+				return
+			}
+		}
+		for i := range m.slots {
+			if casDecPositive(&m.slots[i].readers) {
+				return
+			}
+		}
+		if mayPanic && attempt >= 128 {
+			panic("fairlock: RUnlock of non-read-locked RWMutex")
+		}
+		runtime.Gosched()
+	}
+}

@@ -9,123 +9,308 @@
 // every waiter is admitted in arrival order: a continuous stream of
 // readers cannot starve a writer, and a stream of writers cannot starve a
 // reader beyond the writers already queued ahead of it.
+//
+// Internally the lock is built in three layers, mirroring how the LCU
+// composes with its fallback path:
+//
+//  1. a single atomic state word (readers | writer | bias | queue length)
+//     gives Lock/Unlock/RLock/RUnlock an allocation-free CAS fast path
+//     whenever there is no contention;
+//  2. a BRAVO-style distributed reader table (bravo.go) lets concurrent
+//     readers scale across cores while no writer holds or waits — the
+//     fast path is open exactly when TryRLock would succeed, so fairness
+//     is unchanged;
+//  3. the contended path parks waiters on an intrusive pooled FIFO
+//     (waiter.go), preserving arrival order and reader-batch admission
+//     without allocating per acquire.
+//
+// The original single-mutex implementation is preserved as RefRWMutex /
+// RefMutex (reference.go) and the differential tests check the two
+// implementations admit identically.
 package fairlock
 
 import (
+	"runtime"
 	"sync"
+	"sync/atomic"
 	"time"
 )
 
-// waiter is one queued acquisition.
-type waiter struct {
-	write bool
-	ready chan struct{} // closed when the lock is granted
-}
+// State word layout (RWMutex.state):
+//
+//	bits 0..29   central reader count (readers admitted via the slow path)
+//	bit  30      writer holds the lock
+//	bit  31      read bias enabled (BRAVO slot fast path open)
+//	bits 32..63  queue length (waiters parked in q)
+//
+// Queue-length bits only change under qmu, so the queue structure and its
+// length in the word can never disagree while qmu is held; reader/writer
+// bits change by lock-free CAS from any path.
+const (
+	writerBit  uint64 = 1 << 30
+	biasBit    uint64 = 1 << 31
+	readerMask uint64 = writerBit - 1
+	qShift            = 32
+	qOne       uint64 = 1 << qShift
+)
+
+// Bias policy: try to enable the read bias every biasRetryGrants central
+// read grants, and after a revocation that had to drain live readers,
+// inhibit re-enabling for biasInhibitMult times the drain cost.
+const (
+	biasRetryGrants = 64
+	biasInhibitMult = 9
+)
 
 // RWMutex is a fair FIFO reader-writer lock. The zero value is ready to
 // use. An RWMutex must not be copied after first use.
 type RWMutex struct {
-	mu      sync.Mutex
-	readers int  // active readers
-	writer  bool // active writer
-	queue   []*waiter
+	state atomic.Uint64
 
-	// stats
-	grantsR, grantsW uint64
+	qmu sync.Mutex // guards q and the queue-length bits of state
+	q   waitq
+
+	grantsR atomic.Uint64 // central-path read grants (slot grants live in slots)
+	grantsW atomic.Uint64
+
+	centralR     atomic.Uint32 // central read grants since last revocation
+	inhibitUntil atomic.Int64  // unix nanos before which bias may not re-enable
+	everBiased   atomic.Bool   // bias was enabled at least once (drain gate)
+
+	slots [numSlots]rslot // BRAVO distributed reader indicator
 }
 
-// admit grants the lock to the queue head — and, for a reader head, to
-// every consecutive reader behind it (the reader-batch admission of the
-// paper's read-grant chaining). Callers hold mu.
-func (m *RWMutex) admit() {
-	for len(m.queue) > 0 {
-		h := m.queue[0]
-		if h.write {
-			if m.readers == 0 && !m.writer {
-				m.writer = true
-				m.grantsW++
-				m.queue = m.queue[1:]
-				close(h.ready)
-			}
-			return
-		}
-		if m.writer {
-			return
-		}
-		m.readers++
-		m.grantsR++
-		m.queue = m.queue[1:]
-		close(h.ready)
-	}
-}
-
-// enqueue appends a waiter unless the lock is immediately available (no
-// queue and no conflicting holder). It returns nil on immediate grant.
-func (m *RWMutex) enqueue(write bool) *waiter {
-	m.mu.Lock()
-	defer m.mu.Unlock()
-	if len(m.queue) == 0 && !m.writer && (!write || m.readers == 0) {
-		if write {
-			m.writer = true
-			m.grantsW++
-		} else {
-			m.readers++
-			m.grantsR++
-		}
-		return nil
-	}
-	w := &waiter{write: write, ready: make(chan struct{})}
-	m.queue = append(m.queue, w)
-	return w
-}
+// spinGrants is how many times a contended acquirer retries its fast path
+// (yielding in between) before parking on the FIFO. Spinning delays the
+// waiter's own arrival, so it cannot overtake anyone already queued; it
+// just avoids the full park/handoff round trip when the holder is about
+// to release.
+const spinGrants = 4
 
 // Lock acquires the lock in write (exclusive) mode.
 func (m *RWMutex) Lock() {
-	if w := m.enqueue(true); w != nil {
-		<-w.ready
+	if m.state.CompareAndSwap(0, writerBit) {
+		m.grantsW.Add(1)
+	} else if !m.spinAcquire(true) {
+		if w := m.enqueue(true); w != nil {
+			<-w.ready
+			putWaiter(w)
+		}
 	}
+	m.drainSlots()
 }
 
 // RLock acquires the lock in read (shared) mode.
 func (m *RWMutex) RLock() {
+	if m.rlockFast() {
+		return
+	}
+	if m.spinAcquire(false) {
+		return
+	}
 	if w := m.enqueue(false); w != nil {
 		<-w.ready
+		putWaiter(w)
+	}
+}
+
+// spinAcquire retries the fast path a few times, yielding in between,
+// before the caller parks on the FIFO. It gives up as soon as anyone is
+// queued: spinning only delays this waiter's own arrival, so it can never
+// overtake a queued waiter, it just avoids the park/handoff round trip
+// when the holder is about to release.
+func (m *RWMutex) spinAcquire(write bool) bool {
+	for i := 0; i < spinGrants; i++ {
+		runtime.Gosched()
+		s := m.state.Load()
+		if s>>qShift != 0 {
+			return false
+		}
+		if write {
+			if s&biasBit != 0 {
+				// Only enqueue revokes the bias, so spinning can never
+				// succeed against a biased lock — and each yield is a full
+				// scheduling quantum when fast-path readers never block.
+				// Go revoke instead.
+				return false
+			}
+			if s == 0 && m.state.CompareAndSwap(0, writerBit) {
+				m.grantsW.Add(1)
+				return true
+			}
+		} else if m.rlockFast() {
+			return true
+		}
+	}
+	return false
+}
+
+// rlockFast is the uncontended read path: the BRAVO slot publish when the
+// lock is read-biased, otherwise a CAS on the central count when no writer
+// holds or waits. It succeeds exactly when TryRLock would.
+func (m *RWMutex) rlockFast() bool {
+	s := m.state.Load()
+	if s&biasBit != 0 {
+		sl := &m.slots[slotIndex()]
+		sl.readers.Add(1)
+		if m.state.Load()&biasBit != 0 {
+			// Bias still on after publishing: any revoking writer will see
+			// our slot and drain it before entering its critical section.
+			sl.grants.Add(1)
+			return true
+		}
+		// Revoked between publish and recheck: the writer may have scanned
+		// past our slot already. Retract and go through the central path.
+		m.retract(sl)
+		s = m.state.Load()
+	}
+	for s&writerBit == 0 && s>>qShift == 0 {
+		if m.state.CompareAndSwap(s, s+1) {
+			m.grantedCentralRead()
+			return true
+		}
+		s = m.state.Load()
+	}
+	return false
+}
+
+// grantedCentralRead accounts a central-path read grant and periodically
+// attempts to re-enable the read bias.
+func (m *RWMutex) grantedCentralRead() {
+	m.grantsR.Add(1)
+	if n := m.centralR.Add(1); n%biasRetryGrants == 0 {
+		m.tryEnableBias()
+	}
+}
+
+// enqueue takes the slow path: an immediate grant if the lock is free and
+// nothing is queued (re-checked under qmu), otherwise a pooled waiter
+// appended to the FIFO. A writer revokes the read bias in the same CAS
+// that publishes it, so no new slot readers can slip past a queued writer.
+// It returns nil on immediate grant.
+func (m *RWMutex) enqueue(write bool) *waiter {
+	m.qmu.Lock()
+	for {
+		s := m.state.Load()
+		if s>>qShift == 0 && s&writerBit == 0 && (!write || s&readerMask == 0) {
+			var ns uint64
+			if write {
+				ns = (s | writerBit) &^ biasBit
+			} else {
+				ns = s + 1
+			}
+			if !m.state.CompareAndSwap(s, ns) {
+				continue
+			}
+			m.qmu.Unlock()
+			if write {
+				m.grantsW.Add(1)
+			} else {
+				m.grantedCentralRead()
+			}
+			return nil
+		}
+		ns := s + qOne
+		if write {
+			ns &^= biasBit
+		}
+		if !m.state.CompareAndSwap(s, ns) {
+			continue
+		}
+		w := newWaiter(write)
+		m.q.pushBack(w)
+		m.qmu.Unlock()
+		return w
+	}
+}
+
+// admit grants the lock to the queue head — and, for a reader head, to
+// every consecutive reader behind it (the reader-batch admission of the
+// paper's read-grant chaining). Callers hold qmu.
+func (m *RWMutex) admit() {
+	for m.q.head != nil {
+		h := m.q.head
+		if h.write {
+			for {
+				s := m.state.Load()
+				if s&(writerBit|readerMask) != 0 {
+					return
+				}
+				if m.state.CompareAndSwap(s, ((s-qOne)|writerBit)&^biasBit) {
+					break
+				}
+			}
+			m.grantsW.Add(1)
+			m.q.remove(h)
+			h.ready <- struct{}{}
+			return
+		}
+		for {
+			s := m.state.Load()
+			if s&writerBit != 0 {
+				return
+			}
+			if m.state.CompareAndSwap(s, s-qOne+1) {
+				break
+			}
+		}
+		m.grantedCentralRead()
+		m.q.remove(h)
+		h.ready <- struct{}{}
 	}
 }
 
 // Unlock releases write mode. It panics if the lock is not write-held.
 func (m *RWMutex) Unlock() {
-	m.mu.Lock()
-	defer m.mu.Unlock()
-	if !m.writer {
-		panic("fairlock: Unlock of non-write-locked RWMutex")
+	for {
+		s := m.state.Load()
+		if s&writerBit == 0 {
+			panic("fairlock: Unlock of non-write-locked RWMutex")
+		}
+		if m.state.CompareAndSwap(s, s&^writerBit) {
+			if s>>qShift != 0 {
+				m.qmu.Lock()
+				m.admit()
+				m.qmu.Unlock()
+			}
+			return
+		}
 	}
-	m.writer = false
-	m.admit()
 }
 
 // RUnlock releases read mode. It panics if the lock is not read-held.
 func (m *RWMutex) RUnlock() {
-	m.mu.Lock()
-	defer m.mu.Unlock()
-	if m.readers == 0 {
-		panic("fairlock: RUnlock of non-read-locked RWMutex")
-	}
-	m.readers--
-	if m.readers == 0 {
-		m.admit()
-	}
+	m.releaseReadCredit(&m.slots[slotIndex()], true)
 }
 
 // TryLock attempts write mode without waiting. Consistent with fairness,
-// it fails whenever anyone holds the lock or waits for it.
+// it fails whenever anyone holds the lock or waits for it — including
+// fast-path readers published in the BRAVO table.
 func (m *RWMutex) TryLock() bool {
-	m.mu.Lock()
-	defer m.mu.Unlock()
-	if len(m.queue) == 0 && !m.writer && m.readers == 0 {
-		m.writer = true
-		m.grantsW++
-		return true
+	s := m.state.Load()
+	if s == 0 {
+		if m.state.CompareAndSwap(0, writerBit) {
+			m.grantsW.Add(1)
+			m.drainSlots()
+			return true
+		}
+		return false
+	}
+	if s == biasBit {
+		// Read-biased but idle: hidden slot readers would make us fail.
+		for i := range m.slots {
+			if m.slots[i].readers.Load() != 0 {
+				return false
+			}
+		}
+		if m.state.CompareAndSwap(biasBit, writerBit) {
+			m.grantsW.Add(1)
+			// A fast reader that published between our scan and the CAS
+			// either saw the bias off and retracts, or committed before it
+			// and drains here — a bounded wait on an in-flight reader.
+			m.drainSlots()
+			return true
+		}
 	}
 	return false
 }
@@ -133,64 +318,141 @@ func (m *RWMutex) TryLock() bool {
 // TryRLock attempts read mode without waiting. It fails if a writer holds
 // the lock or any waiter is queued (jumping the queue would be unfair).
 func (m *RWMutex) TryRLock() bool {
-	m.mu.Lock()
-	defer m.mu.Unlock()
-	if len(m.queue) == 0 && !m.writer {
-		m.readers++
-		m.grantsR++
-		return true
-	}
-	return false
+	return m.rlockFast()
 }
 
 // TryLockFor attempts write mode, waiting in queue up to d. On timeout the
-// waiter leaves the queue (the LCU's expired-trylock entry is skipped by
-// its grant timer; here we remove it synchronously).
+// waiter leaves the queue in O(1) (the LCU's expired-trylock entry is
+// skipped by its grant timer; here we unlink it synchronously).
 func (m *RWMutex) TryLockFor(d time.Duration) bool { return m.tryFor(true, d) }
 
 // TryRLockFor attempts read mode, waiting in queue up to d.
 func (m *RWMutex) TryRLockFor(d time.Duration) bool { return m.tryFor(false, d) }
 
 func (m *RWMutex) tryFor(write bool, d time.Duration) bool {
-	w := m.enqueue(write)
-	if w == nil {
-		return true
+	var w *waiter
+	var deadline time.Time
+	if write {
+		deadline = time.Now().Add(d)
+		if m.state.CompareAndSwap(0, writerBit) {
+			m.grantsW.Add(1)
+			return m.finishTimedWrite(deadline)
+		}
+		if w = m.enqueue(true); w == nil {
+			return m.finishTimedWrite(deadline)
+		}
+	} else {
+		if m.rlockFast() {
+			return true
+		}
+		if w = m.enqueue(false); w == nil {
+			return true
+		}
 	}
 	timer := time.NewTimer(d)
 	defer timer.Stop()
 	select {
 	case <-w.ready:
+		putWaiter(w)
+		if write {
+			return m.finishTimedWrite(deadline)
+		}
 		return true
 	case <-timer.C:
 	}
-	// Timed out: remove ourselves, but the grant may have raced the timer.
-	m.mu.Lock()
-	for i, q := range m.queue {
-		if q == w {
-			m.queue = append(m.queue[:i], m.queue[i+1:]...)
-			// Our departure may unblock followers (e.g. a writer that was
-			// queued behind this reader batch boundary).
-			m.admit()
-			m.mu.Unlock()
-			return false
+	// Timed out: unlink ourselves, but the grant may have raced the timer.
+	m.qmu.Lock()
+	if w.queued {
+		m.q.remove(w)
+		for {
+			s := m.state.Load()
+			if m.state.CompareAndSwap(s, s-qOne) {
+				break
+			}
 		}
+		// Our departure may unblock followers (e.g. a writer that was
+		// queued behind the reader-batch boundary this waiter formed).
+		m.admit()
+		m.qmu.Unlock()
+		putWaiter(w)
+		return false
 	}
-	m.mu.Unlock()
-	// Not in the queue: the grant won the race; we hold the lock.
+	m.qmu.Unlock()
+	// Already unlinked by a grant: the token is (or will be) in the
+	// channel; we hold the lock.
 	<-w.ready
+	putWaiter(w)
+	if write {
+		return m.finishTimedWrite(deadline)
+	}
 	return true
 }
 
+// finishTimedWrite completes a timed write acquisition that already owns
+// the writer bit: fast-path readers must drain before the critical
+// section, but only until the caller's deadline. One of those readers can
+// be a slot credit held by the calling goroutine itself (an upgrade
+// attempt), which will never leave — the reference lock resolves that by
+// timing out in queue, so on expiry the grant is rolled back, un-counted,
+// and the acquire reports failure.
+func (m *RWMutex) finishTimedWrite(deadline time.Time) bool {
+	if m.drainSlotsUntil(deadline) {
+		return true
+	}
+	m.grantsW.Add(^uint64(0)) // un-count the rolled-back grant
+	for {
+		s := m.state.Load()
+		if m.state.CompareAndSwap(s, s&^writerBit) {
+			if s>>qShift != 0 {
+				m.qmu.Lock()
+				m.admit()
+				m.qmu.Unlock()
+			}
+			return false
+		}
+	}
+}
+
+// RLocker returns a sync.Locker whose Lock and Unlock call RLock and
+// RUnlock, making RWMutex a drop-in replacement for sync.RWMutex.
+func (m *RWMutex) RLocker() sync.Locker { return (*rlocker)(m) }
+
+type rlocker RWMutex
+
+func (r *rlocker) Lock()   { (*RWMutex)(r).RLock() }
+func (r *rlocker) Unlock() { (*RWMutex)(r).RUnlock() }
+
 // Stats returns the cumulative number of read and write grants.
 func (m *RWMutex) Stats() (readGrants, writeGrants uint64) {
-	m.mu.Lock()
-	defer m.mu.Unlock()
-	return m.grantsR, m.grantsW
+	r := m.grantsR.Load()
+	for i := range m.slots {
+		r += m.slots[i].grants.Load()
+	}
+	return r, m.grantsW.Load()
 }
 
 // QueueLen returns the current number of queued waiters (diagnostics).
-func (m *RWMutex) QueueLen() int {
-	m.mu.Lock()
-	defer m.mu.Unlock()
-	return len(m.queue)
+func (m *RWMutex) QueueLen() int { return int(m.state.Load() >> qShift) }
+
+// Compile-time drop-in-replacement asserts: fairlock's locks expose the
+// same method sets as their sync counterparts.
+type rwLocker interface {
+	sync.Locker
+	RLock()
+	RUnlock()
+	TryLock() bool
+	TryRLock() bool
+	RLocker() sync.Locker
 }
+
+type tryLocker interface {
+	sync.Locker
+	TryLock() bool
+}
+
+var (
+	_ rwLocker  = (*RWMutex)(nil)
+	_ rwLocker  = (*sync.RWMutex)(nil)
+	_ tryLocker = (*Mutex)(nil)
+	_ tryLocker = (*sync.Mutex)(nil)
+)

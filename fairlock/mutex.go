@@ -1,7 +1,9 @@
 package fairlock
 
 import (
+	"runtime"
 	"sync"
+	"sync/atomic"
 	"time"
 )
 
@@ -10,93 +12,153 @@ import (
 // sync.Mutex, whose unlock can be barged by a spinning newcomer). It also
 // provides the trylock and timed acquisition of the paper's Figure 2.
 // The zero value is ready to use.
+//
+// Like RWMutex it is layered: an allocation-free CAS fast path on a single
+// state word (bit 0 = held, bits 32..63 = queue length), and a contended
+// path that parks waiters on the intrusive pooled FIFO. Unlock hands the
+// lock directly to the queue head — held never clears while anyone waits,
+// so there is no barging window.
 type Mutex struct {
-	mu     sync.Mutex
-	held   bool
-	queue  []chan struct{}
-	grants uint64
+	state  atomic.Uint64
+	qmu    sync.Mutex // guards q and the queue-length bits of state
+	q      waitq
+	grants atomic.Uint64
 }
+
+const heldBit uint64 = 1
 
 // Lock acquires the mutex, queueing FIFO behind earlier waiters.
 func (m *Mutex) Lock() {
-	m.mu.Lock()
-	if !m.held && len(m.queue) == 0 {
-		m.held = true
-		m.grants++
-		m.mu.Unlock()
+	if m.state.CompareAndSwap(0, heldBit) {
+		m.grants.Add(1)
 		return
 	}
-	ch := make(chan struct{})
-	m.queue = append(m.queue, ch)
-	m.mu.Unlock()
-	<-ch
+	// Brief yield-spin before parking: a spinner delays only its own
+	// arrival (it acquires nothing while anyone is queued), so FIFO order
+	// among queued waiters is unaffected.
+	for i := 0; i < spinGrants; i++ {
+		runtime.Gosched()
+		s := m.state.Load()
+		if s>>qShift != 0 {
+			break
+		}
+		if s == 0 && m.state.CompareAndSwap(0, heldBit) {
+			m.grants.Add(1)
+			return
+		}
+	}
+	if w := m.enqueue(); w != nil {
+		<-w.ready
+		putWaiter(w)
+	}
+}
+
+// enqueue re-checks for an immediate grant under qmu, otherwise parks a
+// pooled waiter. Returns nil on immediate grant.
+func (m *Mutex) enqueue() *waiter {
+	m.qmu.Lock()
+	for {
+		s := m.state.Load()
+		if s == 0 {
+			if !m.state.CompareAndSwap(0, heldBit) {
+				continue
+			}
+			m.qmu.Unlock()
+			m.grants.Add(1)
+			return nil
+		}
+		if !m.state.CompareAndSwap(s, s+qOne) {
+			continue
+		}
+		w := newWaiter(true)
+		m.q.pushBack(w)
+		m.qmu.Unlock()
+		return w
+	}
 }
 
 // Unlock releases the mutex, handing it directly to the queue head.
 func (m *Mutex) Unlock() {
-	m.mu.Lock()
-	defer m.mu.Unlock()
-	if !m.held {
-		panic("fairlock: Unlock of unlocked Mutex")
+	for {
+		s := m.state.Load()
+		if s&heldBit == 0 {
+			panic("fairlock: Unlock of unlocked Mutex")
+		}
+		if s>>qShift == 0 {
+			if m.state.CompareAndSwap(s, 0) {
+				return
+			}
+			continue
+		}
+		m.qmu.Lock()
+		if h := m.q.head; h != nil {
+			m.q.remove(h)
+			for {
+				s := m.state.Load()
+				if m.state.CompareAndSwap(s, s-qOne) {
+					break
+				}
+			}
+			m.grants.Add(1)
+			h.ready <- struct{}{} // ownership transfers directly; held stays set
+			m.qmu.Unlock()
+			return
+		}
+		// Every waiter timed out between our load and taking qmu; the
+		// queue-length bits are already back to zero. Retry the fast path.
+		m.qmu.Unlock()
 	}
-	if len(m.queue) > 0 {
-		ch := m.queue[0]
-		m.queue = m.queue[1:]
-		m.grants++
-		close(ch) // ownership transfers directly; held stays true
-		return
-	}
-	m.held = false
 }
 
 // TryLock acquires the mutex only if it is free and nobody waits.
 func (m *Mutex) TryLock() bool {
-	m.mu.Lock()
-	defer m.mu.Unlock()
-	if m.held || len(m.queue) > 0 {
-		return false
-	}
-	m.held = true
-	m.grants++
-	return true
-}
-
-// TryLockFor acquires the mutex, waiting in queue at most d.
-func (m *Mutex) TryLockFor(d time.Duration) bool {
-	m.mu.Lock()
-	if !m.held && len(m.queue) == 0 {
-		m.held = true
-		m.grants++
-		m.mu.Unlock()
+	if m.state.CompareAndSwap(0, heldBit) {
+		m.grants.Add(1)
 		return true
 	}
-	ch := make(chan struct{})
-	m.queue = append(m.queue, ch)
-	m.mu.Unlock()
+	return false
+}
 
+// TryLockFor acquires the mutex, waiting in queue at most d. A timed-out
+// waiter unlinks itself in O(1).
+func (m *Mutex) TryLockFor(d time.Duration) bool {
+	if m.state.CompareAndSwap(0, heldBit) {
+		m.grants.Add(1)
+		return true
+	}
+	w := m.enqueue()
+	if w == nil {
+		return true
+	}
 	timer := time.NewTimer(d)
 	defer timer.Stop()
 	select {
-	case <-ch:
+	case <-w.ready:
+		putWaiter(w)
 		return true
 	case <-timer.C:
 	}
-	m.mu.Lock()
-	for i, q := range m.queue {
-		if q == ch {
-			m.queue = append(m.queue[:i], m.queue[i+1:]...)
-			m.mu.Unlock()
-			return false
+	m.qmu.Lock()
+	if w.queued {
+		m.q.remove(w)
+		for {
+			s := m.state.Load()
+			if m.state.CompareAndSwap(s, s-qOne) {
+				break
+			}
 		}
+		m.qmu.Unlock()
+		putWaiter(w)
+		return false
 	}
-	m.mu.Unlock()
-	<-ch // the grant raced the timeout: we own the lock
+	m.qmu.Unlock()
+	<-w.ready // the grant raced the timeout: we own the lock
+	putWaiter(w)
 	return true
 }
 
 // Grants returns the cumulative number of acquisitions (diagnostics).
-func (m *Mutex) Grants() uint64 {
-	m.mu.Lock()
-	defer m.mu.Unlock()
-	return m.grants
-}
+func (m *Mutex) Grants() uint64 { return m.grants.Load() }
+
+// QueueLen returns the current number of queued waiters (diagnostics).
+func (m *Mutex) QueueLen() int { return int(m.state.Load() >> qShift) }
