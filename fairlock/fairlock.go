@@ -283,36 +283,51 @@ func (m *RWMutex) RUnlock() {
 	m.releaseReadCredit(&m.slots[slotIndex()], true)
 }
 
+// tryLockDrain bounds how long TryLock waits on slot credits that appear
+// between its table scan and its CAS. A reader racing the scan either
+// retracts (it saw the bias off — gone within a few scheduling quanta) or
+// committed, in which case the grant is rolled back and TryLock fails
+// rather than wait out a reader critical section.
+const tryLockDrain = 100 * time.Microsecond
+
+// slotsEmpty reports whether no fast-path reader is published in the
+// BRAVO table at the instant of the scan.
+func (m *RWMutex) slotsEmpty() bool {
+	for i := range m.slots {
+		if m.slots[i].readers.Load() != 0 {
+			return false
+		}
+	}
+	return true
+}
+
 // TryLock attempts write mode without waiting. Consistent with fairness,
 // it fails whenever anyone holds the lock or waits for it — including
-// fast-path readers published in the BRAVO table.
+// fast-path readers published in the BRAVO table. Such readers can be
+// live even when the state word is zero: a timed write that rolled back
+// mid-drain (finishTimedWrite) leaves the bias off with slot credits
+// still outstanding, so both idle states must scan the table.
 func (m *RWMutex) TryLock() bool {
 	s := m.state.Load()
-	if s == 0 {
-		if m.state.CompareAndSwap(0, writerBit) {
-			m.grantsW.Add(1)
-			m.drainSlots()
-			return true
-		}
+	if s != 0 && s != biasBit {
 		return false
 	}
-	if s == biasBit {
-		// Read-biased but idle: hidden slot readers would make us fail.
-		for i := range m.slots {
-			if m.slots[i].readers.Load() != 0 {
-				return false
-			}
-		}
-		if m.state.CompareAndSwap(biasBit, writerBit) {
-			m.grantsW.Add(1)
-			// A fast reader that published between our scan and the CAS
-			// either saw the bias off and retracts, or committed before it
-			// and drains here — a bounded wait on an in-flight reader.
-			m.drainSlots()
-			return true
-		}
+	if m.everBiased.Load() && !m.slotsEmpty() {
+		// Hidden slot readers hold the lock; granting would either block
+		// on their critical sections or break mutual exclusion.
+		return false
 	}
-	return false
+	if !m.state.CompareAndSwap(s, writerBit) {
+		return false
+	}
+	m.grantsW.Add(1)
+	if !m.everBiased.Load() {
+		return true
+	}
+	// A reader that published between our scan and the CAS drains within
+	// the bound if it is retracting; otherwise the grant rolls back and
+	// the trylock fails — it never waits on a held read lock.
+	return m.finishTimedWrite(time.Now().Add(tryLockDrain))
 }
 
 // TryRLock attempts read mode without waiting. It fails if a writer holds

@@ -200,6 +200,60 @@ func TestTryLock(t *testing.T) {
 	m.RUnlock()
 }
 
+// TestTryLockRespectsSlotReaders pins TryLock against readers that are
+// visible only in the BRAVO slot table. That happens in two idle states:
+// read-biased (state == biasBit), and — after a timed write rolled back
+// mid-drain — state == 0 with slot credits still live. In both, TryLock
+// must fail promptly: a naive grant either blocks on the reader's critical
+// section (forever, when the caller is that reader — an upgrade attempt)
+// or reports success while a reader holds the lock.
+func TestTryLockRespectsSlotReaders(t *testing.T) {
+	var m RWMutex
+	for i := 0; i < 500; i++ { // enough central grants to enable the bias
+		m.RLock()
+		m.RUnlock()
+	}
+	if m.state.Load()&biasBit == 0 {
+		t.Fatal("read bias did not enable after sustained read traffic")
+	}
+	_, w0 := m.Stats()
+
+	m.RLock() // slot-path read credit held by this goroutine
+	if m.TryLock() {
+		t.Fatal("TryLock succeeded while a slot reader holds the lock (biased idle)")
+	}
+	// Time out a write acquisition: the grant rolls back mid-drain,
+	// leaving state == 0 with the slot credit still outstanding.
+	if m.TryLockFor(10 * time.Millisecond) {
+		t.Fatal("TryLockFor succeeded while this goroutine holds a read lock")
+	}
+	if s := m.state.Load(); s != 0 {
+		t.Fatalf("state %#x after rollback, want 0", s)
+	}
+	start := time.Now()
+	if m.TryLock() {
+		t.Fatal("TryLock succeeded against a live slot reader after rollback")
+	}
+	if d := time.Since(start); d > time.Second {
+		t.Fatalf("TryLock blocked %v against a slot reader, want prompt failure", d)
+	}
+	if _, w := m.Stats(); w != w0 {
+		t.Fatalf("failed trylocks counted as grants: writes %d, want %d", w, w0)
+	}
+	m.RUnlock()
+
+	// With the reader gone the same idle state must grant again.
+	if !m.TryLock() {
+		t.Fatal("TryLock failed on a free lock after the reader left")
+	}
+	m.Unlock()
+	m.RLock()
+	m.RUnlock()
+	if m.QueueLen() != 0 {
+		t.Fatalf("queue len %d after quiescence, want 0", m.QueueLen())
+	}
+}
+
 func TestTryLockForTimeout(t *testing.T) {
 	var m RWMutex
 	m.Lock()
