@@ -1,0 +1,219 @@
+// lockload is a closed-loop load generator for lockd: N worker
+// goroutines, each with its own connection and session, hammer a shared
+// keyspace with acquire/release pairs at a configured read ratio and
+// report throughput plus acquire-latency percentiles (per-worker
+// internal/stats histograms, merged).
+//
+// One run:
+//
+//	lockload -addr 127.0.0.1:7600 -conns 8 -duration 5s -readpct 90
+//
+// A read-ratio sweep (one run per point, one table at the end):
+//
+//	lockload -sweep 0,50,90,99,100 -duration 2s
+//
+// The exit status is non-zero if any operation failed (timeouts on try or
+// timed acquires are contention, not failures), so CI can use a short
+// burst as a smoke test.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"log"
+	"math/rand"
+	"os"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"fairrw/internal/lockmgr"
+	"fairrw/internal/lockmgr/client"
+	"fairrw/internal/stats"
+)
+
+type result struct {
+	readPct  int
+	elapsed  time.Duration
+	pairs    uint64 // successful acquire+release cycles
+	timeouts uint64
+	errors   uint64
+	lat      stats.Histogram // sampled flush (release+acquire) round-trip latency, ns
+}
+
+// ops is the wire-operation count: one acquire plus one release per pair.
+func (r *result) ops() uint64 { return 2 * r.pairs }
+
+func main() {
+	var (
+		addr     = flag.String("addr", "127.0.0.1:7600", "lockd address")
+		conns    = flag.Int("conns", 8, "concurrent client goroutines (one connection + session each)")
+		duration = flag.Duration("duration", 5*time.Second, "measurement window per run")
+		readPct  = flag.Int("readpct", 90, "percentage of acquires that are shared")
+		keys     = flag.Int("keys", 16, "distinct lock names")
+		wait     = flag.Duration("wait", time.Second, "acquire wait bound (FIFO timed acquire)")
+		lease    = flag.Duration("lease", 10*time.Second, "session lease")
+		hold     = flag.Duration("hold", 0, "critical-section hold time")
+		sweepArg = flag.String("sweep", "", "comma-separated read percentages; one run per point")
+	)
+	flag.Parse()
+
+	points := []int{*readPct}
+	if *sweepArg != "" {
+		points = points[:0]
+		for _, s := range strings.Split(*sweepArg, ",") {
+			p, err := strconv.Atoi(strings.TrimSpace(s))
+			if err != nil || p < 0 || p > 100 {
+				log.Fatalf("lockload: bad -sweep point %q", s)
+			}
+			points = append(points, p)
+		}
+	}
+
+	fmt.Printf("lockload: %d conns, %v/run, %d keys, wait %v, hold %v -> %s\n",
+		*conns, *duration, *keys, *wait, *hold, *addr)
+	fmt.Printf("%7s %12s %12s %10s %10s %10s %9s %7s\n",
+		"read%", "pairs", "ops/s", "p50(us)", "p99(us)", "max(us)", "timeouts", "errors")
+	var failed bool
+	for _, p := range points {
+		r := run(*addr, *conns, *duration, p, *keys, *wait, *lease, *hold)
+		fmt.Printf("%7d %12d %12.0f %10.1f %10.1f %10.1f %9d %7d\n",
+			r.readPct, r.pairs, float64(r.ops())/r.elapsed.Seconds(),
+			r.lat.Percentile(50)/1e3, r.lat.Percentile(99)/1e3, float64(r.lat.Max())/1e3,
+			r.timeouts, r.errors)
+		if r.errors > 0 {
+			failed = true
+		}
+	}
+
+	if c, err := client.Dial(*addr); err == nil {
+		if raw, err := c.Stats(); err == nil {
+			var snap lockmgr.Snapshot
+			if json.Unmarshal(raw, &snap) == nil {
+				fmt.Printf("server: %d shared + %d excl grants, %d timeouts, %d lease expirations, %d entries, wait p99 %.1fus\n",
+					snap.SharedGrants, snap.ExclGrants, snap.Timeouts,
+					snap.LeaseExpirations, snap.Entries, snap.WaitP99US)
+			}
+		}
+		c.Close()
+	}
+	if failed {
+		os.Exit(1)
+	}
+}
+
+// run drives one closed-loop measurement window at the given read ratio.
+func run(addr string, conns int, duration time.Duration, readPct, keys int,
+	wait, lease, hold time.Duration) result {
+
+	var stop atomic.Bool
+	results := make([]result, conns)
+	names := make([]string, keys)
+	for i := range names {
+		names[i] = fmt.Sprintf("key-%04d", i)
+	}
+	var wg sync.WaitGroup
+	start := time.Now()
+	for w := 0; w < conns; w++ {
+		w := w
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			r := &results[w]
+			c, err := client.Dial(addr)
+			if err != nil {
+				log.Printf("lockload: worker %d: dial: %v", w, err)
+				r.errors++
+				return
+			}
+			defer c.Close()
+			sid, err := c.Open(lease)
+			if err != nil {
+				log.Printf("lockload: worker %d: open: %v", w, err)
+				r.errors++
+				return
+			}
+			defer c.CloseSession(sid)
+			rng := rand.New(rand.NewSource(int64(w) + 1))
+			// Clock reads are a measurable slice of a closed-loop worker's
+			// budget, so latency is sampled 1-in-16 rather than timed on
+			// every op.
+			const latSample = 16
+			var seq uint64
+			var t0 time.Time
+			var errs []error
+			// The previous iteration's release is pipelined with the next
+			// acquire: one write carries both requests and the server
+			// coalesces both responses, halving the syscalls per pair.
+			held := false
+			var heldKey string
+			var heldExcl bool
+			for !stop.Load() {
+				key := names[rng.Intn(keys)]
+				excl := rng.Intn(100) >= readPct
+				sampled := seq&(latSample-1) == 0
+				seq++
+				if sampled {
+					t0 = time.Now()
+				}
+				if held {
+					c.QueueRelease(sid, heldKey, heldExcl)
+				}
+				c.QueueAcquire(sid, key, excl, wait)
+				var err error
+				errs, err = c.Flush(errs[:0])
+				if err != nil {
+					log.Printf("lockload: worker %d: flush: %v", w, err)
+					r.errors++
+					return
+				}
+				if held {
+					if errs[0] != nil {
+						log.Printf("lockload: worker %d: release: %v", w, errs[0])
+						r.errors++
+						return
+					}
+					r.pairs++
+				}
+				acqErr := errs[len(errs)-1]
+				if acqErr == lockmgr.ErrTimeout {
+					r.timeouts++
+					held = false
+					continue
+				}
+				if acqErr != nil {
+					log.Printf("lockload: worker %d: acquire: %v", w, acqErr)
+					r.errors++
+					return
+				}
+				if sampled {
+					r.lat.Add(uint64(time.Since(t0)))
+				}
+				held, heldKey, heldExcl = true, key, excl
+				if hold > 0 {
+					time.Sleep(hold)
+				}
+			}
+			if held {
+				if err := c.Release(sid, heldKey, heldExcl); err == nil {
+					r.pairs++
+				}
+			}
+		}()
+	}
+	time.Sleep(duration)
+	stop.Store(true)
+	wg.Wait()
+
+	total := result{readPct: readPct, elapsed: time.Since(start)}
+	for i := range results {
+		total.pairs += results[i].pairs
+		total.timeouts += results[i].timeouts
+		total.errors += results[i].errors
+		total.lat.Merge(&results[i].lat)
+	}
+	return total
+}

@@ -1,0 +1,229 @@
+package fairlock
+
+import (
+	"math/rand"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// rwLockCancel extends the differential surface with the cancellable
+// acquires used by the lock service's session revocation.
+type rwLockCancel interface {
+	rwLock
+	LockCancel(<-chan struct{}) bool
+	RLockCancel(<-chan struct{}) bool
+}
+
+var (
+	_ rwLockCancel = (*RWMutex)(nil)
+	_ rwLockCancel = (*RefRWMutex)(nil)
+)
+
+// waitQueueLen spins until l's queue holds exactly n waiters.
+func waitQueueLen(t *testing.T, l rwLock, n int) {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for l.QueueLen() != n {
+		if time.Now().After(deadline) {
+			t.Fatalf("queue never reached %d waiters (QueueLen=%d)", n, l.QueueLen())
+		}
+		time.Sleep(50 * time.Microsecond)
+	}
+}
+
+// TestCancelImmediate checks the trivial cases: a cancellable acquire on a
+// free lock grants immediately, and a pre-cancelled waiter on a held lock
+// returns false without disturbing the holder.
+func TestCancelImmediate(t *testing.T) {
+	for _, l := range []rwLockCancel{&RWMutex{}, &RefRWMutex{}} {
+		cancel := make(chan struct{})
+		if !l.LockCancel(cancel) {
+			t.Fatal("LockCancel on free lock failed")
+		}
+		close(cancel)
+		done := make(chan bool, 1)
+		go func() { done <- l.RLockCancel(cancel) }()
+		if got := <-done; got {
+			t.Fatal("RLockCancel with closed cancel acquired a write-held lock")
+		}
+		l.Unlock()
+		if !l.RLockCancel(cancel) {
+			// A closed cancel channel does not forbid an immediate grant:
+			// the fast path never parks, so there is nothing to revoke.
+			t.Fatal("RLockCancel on free lock failed")
+		}
+		l.RUnlock()
+	}
+}
+
+// TestDifferentialCancelledWaiter queues R, W(cancellable), R, W behind a
+// write hold, revokes the cancellable writer mid-queue, and requires the
+// remaining admission order and batching to match the reference model:
+// cancellation must remove exactly the revoked waiter and nothing else.
+func TestDifferentialCancelledWaiter(t *testing.T) {
+	run := func(l rwLockCancel) string {
+		l.Lock()
+		cancel := make(chan struct{})
+		res := make(chan bool, 1)
+		go func() { res <- l.LockCancel(cancel) }()
+		waitQueueLen(t, l, 1)
+
+		var mu sync.Mutex
+		var order []grantEvent
+		var wg sync.WaitGroup
+		for i, write := range []bool{false, false, true} {
+			i, write := i, write
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				if write {
+					l.Lock()
+				} else {
+					l.RLock()
+				}
+				mu.Lock()
+				order = append(order, grantEvent{write, i})
+				mu.Unlock()
+				if write {
+					l.Unlock()
+				} else {
+					l.RUnlock()
+				}
+			}()
+			waitQueueLen(t, l, i+2)
+		}
+
+		close(cancel)
+		if got := <-res; got {
+			t.Fatal("cancelled writer acquired the lock")
+		}
+		waitQueueLen(t, l, 3) // revoked waiter left; everyone else still queued
+		l.Unlock()
+		wg.Wait()
+		return canonical(order)
+	}
+	var a RWMutex
+	var b RefRWMutex
+	if got, want := run(&a), run(&b); got != want {
+		t.Fatalf("post-cancel admission diverged: new=%s ref=%s", got, want)
+	}
+}
+
+// TestDifferentialTimedReader drives TryRLockFor through expiry behind a
+// write hold in both implementations: the timed reader must report false,
+// leave the queue without disturbing the waiters behind it, and the
+// remaining admission order must match the reference model. A second timed
+// reader with a comfortable deadline must be granted (true) in both.
+func TestDifferentialTimedReader(t *testing.T) {
+	run := func(l rwLock) string {
+		l.Lock()
+		timedOut := make(chan bool, 1)
+		go func() { timedOut <- l.TryRLockFor(20 * time.Millisecond) }()
+		waitQueueLen(t, l, 1)
+
+		var mu sync.Mutex
+		var order []grantEvent
+		var wg sync.WaitGroup
+		for i, write := range []bool{true, false} {
+			i, write := i, write
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				if write {
+					l.Lock()
+				} else {
+					l.RLock()
+				}
+				mu.Lock()
+				order = append(order, grantEvent{write, i})
+				mu.Unlock()
+				if write {
+					l.Unlock()
+				} else {
+					l.RUnlock()
+				}
+			}()
+			waitQueueLen(t, l, i+2)
+		}
+		if ok := <-timedOut; ok {
+			t.Fatal("timed reader unexpectedly acquired while writer held")
+		}
+		waitQueueLen(t, l, 2)
+		l.Unlock()
+		wg.Wait()
+
+		// Deadline comfortably after the release: the grant must win.
+		if !l.TryRLockFor(5 * time.Second) {
+			t.Fatal("timed reader on free lock failed")
+		}
+		l.RUnlock()
+		return canonical(order)
+	}
+	var a RWMutex
+	var b RefRWMutex
+	if got, want := run(&a), run(&b); got != want {
+		t.Fatalf("post-reader-timeout admission diverged: new=%s ref=%s", got, want)
+	}
+}
+
+// TestStressCancelRace hammers cancellable acquires whose cancel channels
+// close at random times, checking mutual exclusion and that every acquire
+// reporting true is balanced by a release. Run under -race in CI.
+func TestStressCancelRace(t *testing.T) {
+	var m RWMutex
+	var writers atomic.Int32
+	var readers atomic.Int32
+	const goroutines = 8
+	const iters = 300
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		g := g
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(int64(g)))
+			for i := 0; i < iters; i++ {
+				cancel := make(chan struct{})
+				if rng.Intn(4) > 0 {
+					// Cancel concurrently with the acquire attempt.
+					d := time.Duration(rng.Intn(200)) * time.Microsecond
+					go func() {
+						time.Sleep(d)
+						close(cancel)
+					}()
+				}
+				if rng.Intn(3) == 0 {
+					if m.LockCancel(cancel) {
+						if w := writers.Add(1); w != 1 {
+							t.Errorf("two writers inside (%d)", w)
+						}
+						if r := readers.Load(); r != 0 {
+							t.Errorf("writer inside with %d readers", r)
+						}
+						writers.Add(-1)
+						m.Unlock()
+					}
+				} else {
+					if m.RLockCancel(cancel) {
+						readers.Add(1)
+						if w := writers.Load(); w != 0 {
+							t.Errorf("reader inside with writer")
+						}
+						readers.Add(-1)
+						m.RUnlock()
+					}
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	if m.QueueLen() != 0 {
+		t.Fatalf("queue not drained: %d", m.QueueLen())
+	}
+	if !m.TryLock() {
+		t.Fatal("lock not free after stress")
+	}
+	m.Unlock()
+}

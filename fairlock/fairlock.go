@@ -376,23 +376,9 @@ func (m *RWMutex) tryFor(write bool, d time.Duration) bool {
 	case <-timer.C:
 	}
 	// Timed out: unlink ourselves, but the grant may have raced the timer.
-	m.qmu.Lock()
-	if w.queued {
-		m.q.remove(w)
-		for {
-			s := m.state.Load()
-			if m.state.CompareAndSwap(s, s-qOne) {
-				break
-			}
-		}
-		// Our departure may unblock followers (e.g. a writer that was
-		// queued behind the reader-batch boundary this waiter formed).
-		m.admit()
-		m.qmu.Unlock()
-		putWaiter(w)
+	if m.abandonWait(w) {
 		return false
 	}
-	m.qmu.Unlock()
 	// Already unlinked by a grant: the token is (or will be) in the
 	// channel; we hold the lock.
 	<-w.ready
@@ -414,6 +400,15 @@ func (m *RWMutex) finishTimedWrite(deadline time.Time) bool {
 	if m.drainSlotsUntil(deadline) {
 		return true
 	}
+	m.rollbackWrite()
+	return false
+}
+
+// rollbackWrite surrenders a writer bit whose acquisition is being
+// abandoned before the critical section was entered: the grant is
+// un-counted and any queued waiters are admitted, exactly as if the
+// writer had never been granted.
+func (m *RWMutex) rollbackWrite() {
 	m.grantsW.Add(^uint64(0)) // un-count the rolled-back grant
 	for {
 		s := m.state.Load()
@@ -423,9 +418,110 @@ func (m *RWMutex) finishTimedWrite(deadline time.Time) bool {
 				m.admit()
 				m.qmu.Unlock()
 			}
-			return false
+			return
 		}
 	}
+}
+
+// cancelDrainSlice bounds each slot-drain attempt of a cancellable write
+// acquisition, so revocation is observed within a scheduling quantum or
+// two even against a reader that never leaves.
+const cancelDrainSlice = 200 * time.Microsecond
+
+// finishCancelWrite completes a cancellable write acquisition that already
+// owns the writer bit: fast-path readers drain in bounded slices, checking
+// cancel between slices. On cancellation the grant is rolled back and the
+// acquire reports failure — like a timed write whose deadline passed.
+func (m *RWMutex) finishCancelWrite(cancel <-chan struct{}) bool {
+	for !m.drainSlotsUntil(time.Now().Add(cancelDrainSlice)) {
+		select {
+		case <-cancel:
+			m.rollbackWrite()
+			return false
+		default:
+		}
+	}
+	return true
+}
+
+// LockCancel acquires write mode like Lock, but abandons the attempt when
+// cancel is closed — the revocation hook a lock service needs to evict the
+// queued waiters of a dead session without disturbing arrival order for
+// anyone else. It reports whether the lock was acquired. A cancelled
+// waiter leaves the queue in O(1); if the grant races the cancellation,
+// the caller owns the lock and true is returned (the service releases it
+// when it finds the session gone).
+func (m *RWMutex) LockCancel(cancel <-chan struct{}) bool {
+	if m.state.CompareAndSwap(0, writerBit) {
+		m.grantsW.Add(1)
+		return m.finishCancelWrite(cancel)
+	}
+	w := m.enqueue(true)
+	if w == nil {
+		return m.finishCancelWrite(cancel)
+	}
+	select {
+	case <-w.ready:
+		putWaiter(w)
+		return m.finishCancelWrite(cancel)
+	case <-cancel:
+	}
+	if m.abandonWait(w) {
+		return false
+	}
+	// Already unlinked by a grant: consume the token; we hold the lock.
+	<-w.ready
+	putWaiter(w)
+	return m.finishCancelWrite(cancel)
+}
+
+// RLockCancel acquires read mode like RLock, but abandons the attempt when
+// cancel is closed. It reports whether the lock was acquired (see
+// LockCancel for the grant/cancel race).
+func (m *RWMutex) RLockCancel(cancel <-chan struct{}) bool {
+	if m.rlockFast() {
+		return true
+	}
+	w := m.enqueue(false)
+	if w == nil {
+		return true
+	}
+	select {
+	case <-w.ready:
+		putWaiter(w)
+		return true
+	case <-cancel:
+	}
+	if m.abandonWait(w) {
+		return false
+	}
+	<-w.ready
+	putWaiter(w)
+	return true
+}
+
+// abandonWait unlinks a waiter whose timeout or cancellation fired. It
+// reports whether the waiter was still queued (and is now gone); false
+// means a grant won the race and its token is (or will be) in w.ready.
+func (m *RWMutex) abandonWait(w *waiter) bool {
+	m.qmu.Lock()
+	if !w.queued {
+		m.qmu.Unlock()
+		return false
+	}
+	m.q.remove(w)
+	for {
+		s := m.state.Load()
+		if m.state.CompareAndSwap(s, s-qOne) {
+			break
+		}
+	}
+	// Our departure may unblock followers (e.g. a writer that was queued
+	// behind the reader-batch boundary this waiter formed).
+	m.admit()
+	m.qmu.Unlock()
+	putWaiter(w)
+	return true
 }
 
 // RLocker returns a sync.Locker whose Lock and Unlock call RLock and

@@ -171,6 +171,38 @@ func (m *RefRWMutex) tryFor(write bool, d time.Duration) bool {
 	return true
 }
 
+// LockCancel acquires write mode, abandoning the attempt when cancel is
+// closed. It reports whether the lock was acquired.
+func (m *RefRWMutex) LockCancel(cancel <-chan struct{}) bool { return m.cancelFor(true, cancel) }
+
+// RLockCancel acquires read mode, abandoning the attempt when cancel is
+// closed. It reports whether the lock was acquired.
+func (m *RefRWMutex) RLockCancel(cancel <-chan struct{}) bool { return m.cancelFor(false, cancel) }
+
+func (m *RefRWMutex) cancelFor(write bool, cancel <-chan struct{}) bool {
+	w := m.enqueue(write)
+	if w == nil {
+		return true
+	}
+	select {
+	case <-w.ready:
+		return true
+	case <-cancel:
+	}
+	m.mu.Lock()
+	for i, q := range m.queue {
+		if q == w {
+			m.queue = append(m.queue[:i], m.queue[i+1:]...)
+			m.admit()
+			m.mu.Unlock()
+			return false
+		}
+	}
+	m.mu.Unlock()
+	<-w.ready // the grant won the race; we hold the lock
+	return true
+}
+
 // Stats returns the cumulative number of read and write grants.
 func (m *RefRWMutex) Stats() (readGrants, writeGrants uint64) {
 	m.mu.Lock()

@@ -1,0 +1,210 @@
+// Package client is the synchronous Go client for lockd's wire protocol.
+// A Conn issues one request at a time over one TCP connection and reuses
+// its buffers, so the steady-state cost of an operation is one write, one
+// read, and zero allocations. Acquire/release traffic can additionally be
+// pipelined (QueueAcquire/QueueRelease/Flush): several requests go out in
+// one write and the server coalesces the responses into one segment,
+// which matters when the syscall, not the lock, is the bottleneck. A Conn
+// is not safe for concurrent use: give each goroutine its own (sessions
+// are independent of connections, so a keepalive for a session blocked on
+// another Conn can ride any Conn).
+package client
+
+import (
+	"bufio"
+	"errors"
+	"fmt"
+	"net"
+	"time"
+
+	"fairrw/internal/lockmgr"
+	"fairrw/internal/lockmgr/wire"
+)
+
+// Conn is one client connection to a lockd server.
+type Conn struct {
+	nc      net.Conn
+	br      *bufio.Reader
+	rbuf    []byte
+	wbuf    []byte
+	pending int
+}
+
+// Dial connects to a lockd server at addr (host:port).
+func Dial(addr string) (*Conn, error) {
+	nc, err := net.Dial("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	return &Conn{nc: nc, br: bufio.NewReaderSize(nc, 4096)}, nil
+}
+
+// Close closes the connection. Sessions opened on it live on until their
+// leases lapse (or CloseSession is called from another connection).
+func (c *Conn) Close() error { return c.nc.Close() }
+
+// roundTrip sends req and decodes the single response.
+func (c *Conn) roundTrip(req *wire.Request) (wire.Response, error) {
+	if c.pending != 0 {
+		return wire.Response{}, errors.New("lockd client: Flush queued requests before a synchronous call")
+	}
+	var err error
+	c.wbuf, err = wire.AppendRequestFrame(c.wbuf[:0], req)
+	if err != nil {
+		return wire.Response{}, err
+	}
+	if _, err := c.nc.Write(c.wbuf); err != nil {
+		return wire.Response{}, err
+	}
+	p, err := wire.ReadFrame(c.br, &c.rbuf)
+	if err != nil {
+		return wire.Response{}, err
+	}
+	return wire.DecodeResponse(p)
+}
+
+// statusErr maps a response status to the manager's sentinel errors, so
+// remote and in-process callers handle failures identically.
+func statusErr(st wire.Status) error {
+	switch st {
+	case wire.StatusOK:
+		return nil
+	case wire.StatusTimeout:
+		return lockmgr.ErrTimeout
+	case wire.StatusExpired:
+		return lockmgr.ErrExpired
+	case wire.StatusNotHeld:
+		return lockmgr.ErrNotHeld
+	case wire.StatusHeld:
+		return lockmgr.ErrHeld
+	default:
+		return fmt.Errorf("lockd: request rejected (status %d)", st)
+	}
+}
+
+// Open registers a session with the given lease and returns its id.
+func (c *Conn) Open(lease time.Duration) (uint64, error) {
+	resp, err := c.roundTrip(&wire.Request{Op: wire.OpOpen, Lease: int64(lease)})
+	if err != nil {
+		return 0, err
+	}
+	if err := statusErr(resp.Status); err != nil {
+		return 0, err
+	}
+	return resp.SID, nil
+}
+
+// KeepAlive extends sid's lease to now+lease on the server.
+func (c *Conn) KeepAlive(sid uint64, lease time.Duration) error {
+	resp, err := c.roundTrip(&wire.Request{Op: wire.OpKeepAlive, SID: sid, Lease: int64(lease)})
+	if err != nil {
+		return err
+	}
+	return statusErr(resp.Status)
+}
+
+// CloseSession gracefully ends sid, releasing its holds.
+func (c *Conn) CloseSession(sid uint64) error {
+	resp, err := c.roundTrip(&wire.Request{Op: wire.OpClose, SID: sid})
+	if err != nil {
+		return err
+	}
+	return statusErr(resp.Status)
+}
+
+// Acquire takes name for sid. wait follows lockmgr.Acquire: 0 try, >0
+// timed, <0 wait until granted or the lease lapses.
+func (c *Conn) Acquire(sid uint64, name string, excl bool, wait time.Duration) error {
+	resp, err := c.roundTrip(&wire.Request{
+		Op: wire.OpAcquire, SID: sid, Wait: int64(wait), Excl: excl, Name: name,
+	})
+	if err != nil {
+		return err
+	}
+	return statusErr(resp.Status)
+}
+
+// Release drops one hold of sid on name.
+func (c *Conn) Release(sid uint64, name string, excl bool) error {
+	resp, err := c.roundTrip(&wire.Request{
+		Op: wire.OpRelease, SID: sid, Excl: excl, Name: name,
+	})
+	if err != nil {
+		return err
+	}
+	return statusErr(resp.Status)
+}
+
+// QueueAcquire appends an acquire request to the connection's write
+// buffer without sending it; Flush sends every queued request in one
+// write. wait follows lockmgr.Acquire.
+func (c *Conn) QueueAcquire(sid uint64, name string, excl bool, wait time.Duration) error {
+	return c.queue(&wire.Request{
+		Op: wire.OpAcquire, SID: sid, Wait: int64(wait), Excl: excl, Name: name,
+	})
+}
+
+// QueueRelease appends a release request to the connection's write buffer
+// without sending it.
+func (c *Conn) QueueRelease(sid uint64, name string, excl bool) error {
+	return c.queue(&wire.Request{Op: wire.OpRelease, SID: sid, Excl: excl, Name: name})
+}
+
+func (c *Conn) queue(req *wire.Request) error {
+	if c.pending == 0 {
+		// wbuf still holds the previous already-written request; a new
+		// batch starts clean.
+		c.wbuf = c.wbuf[:0]
+	}
+	var err error
+	c.wbuf, err = wire.AppendRequestFrame(c.wbuf, req)
+	if err != nil {
+		return err
+	}
+	c.pending++
+	return nil
+}
+
+// Flush sends every queued request in one write and reads their responses
+// in order, appending each request's outcome to errs (nil for a grant or
+// a clean release). The second result is a transport error; after one the
+// connection is unusable. The server executes pipelined requests strictly
+// in order and coalesces their responses into a single write, so a
+// release+acquire pair costs one syscall each way on each side instead of
+// two.
+func (c *Conn) Flush(errs []error) ([]error, error) {
+	n := c.pending
+	c.pending = 0
+	if n == 0 {
+		return errs, nil
+	}
+	_, err := c.nc.Write(c.wbuf)
+	c.wbuf = c.wbuf[:0]
+	if err != nil {
+		return errs, err
+	}
+	for i := 0; i < n; i++ {
+		p, err := wire.ReadFrame(c.br, &c.rbuf)
+		if err != nil {
+			return errs, err
+		}
+		resp, err := wire.DecodeResponse(p)
+		if err != nil {
+			return errs, err
+		}
+		errs = append(errs, statusErr(resp.Status))
+	}
+	return errs, nil
+}
+
+// Stats fetches the server's metrics snapshot as JSON.
+func (c *Conn) Stats() ([]byte, error) {
+	resp, err := c.roundTrip(&wire.Request{Op: wire.OpStats})
+	if err != nil {
+		return nil, err
+	}
+	if err := statusErr(resp.Status); err != nil {
+		return nil, err
+	}
+	return append([]byte(nil), resp.Payload...), nil
+}

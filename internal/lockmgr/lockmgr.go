@@ -1,0 +1,598 @@
+// Package lockmgr is a software Lock Reservation Table: a named fair
+// reader-writer lock service built on fairlock.RWMutex.
+//
+// The paper's LRT (§3.3–3.5) is a table-managing agent: it queues
+// requesters for named locks in arrival order and guarantees forward
+// progress when a holder disappears, spilling reservations to memory and
+// recovering them on overflow. lockmgr mirrors that structure in
+// software:
+//
+//   - named locks live in a table striped across power-of-two shards
+//     (cache-padded), each entry wrapping a fairlock.RWMutex, created on
+//     demand and garbage-collected after sitting idle;
+//   - every acquisition belongs to a session with a lease deadline — the
+//     software analogue of the LRT's reservation: a client that crashes
+//     or stalls past its lease has its holds revoked and its queued
+//     waiters cancelled (fairlock.LockCancel/RLockCancel), so the lock
+//     always makes forward progress, and waiters behind the dead holder
+//     are granted in unchanged arrival order;
+//   - keepalives extend the lease, exactly as a live LCU keeps its
+//     reservation current.
+//
+// The wire, client, and server subpackages expose the manager over a
+// length-prefixed binary TCP protocol (cmd/lockd, cmd/lockload).
+package lockmgr
+
+import (
+	"errors"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"fairrw/fairlock"
+	"fairrw/internal/stats"
+)
+
+// Errors returned by Manager operations. The wire layer maps each to a
+// status code one-to-one.
+var (
+	ErrTimeout = errors.New("lockmgr: acquire timed out")
+	ErrExpired = errors.New("lockmgr: session expired or unknown")
+	ErrNotHeld = errors.New("lockmgr: lock not held by session")
+	ErrHeld    = errors.New("lockmgr: session already holds this lock exclusively")
+	ErrClosed  = errors.New("lockmgr: manager closed")
+	ErrName    = errors.New("lockmgr: invalid lock name")
+)
+
+// MaxNameLen bounds lock names; the wire protocol enforces the same bound
+// before a frame ever reaches the manager.
+const MaxNameLen = 1024
+
+// Config parameterizes a Manager. The zero value selects the defaults.
+type Config struct {
+	// Shards is the number of table stripes; rounded up to a power of
+	// two. Default 16.
+	Shards int
+	// SweepInterval is the lease-reaper period: the upper bound on how
+	// long past its deadline a dead session keeps its holds. Leases are
+	// clamped to at least this, so reclamation always happens within
+	// 2x the (effective) lease. Default 10ms.
+	SweepInterval time.Duration
+	// DefaultLease is used when a session opens with lease <= 0.
+	// Default 10s.
+	DefaultLease time.Duration
+	// MaxLease caps requested leases. Default 1m.
+	MaxLease time.Duration
+	// IdleTTL is how long an entry with no holders and no waiters
+	// survives before the sweeper deletes it. Default 1s.
+	IdleTTL time.Duration
+}
+
+func (c Config) withDefaults() Config {
+	if c.Shards <= 0 {
+		c.Shards = 16
+	}
+	for c.Shards&(c.Shards-1) != 0 {
+		c.Shards++
+	}
+	if c.SweepInterval <= 0 {
+		c.SweepInterval = 10 * time.Millisecond
+	}
+	if c.DefaultLease <= 0 {
+		c.DefaultLease = 10 * time.Second
+	}
+	if c.MaxLease <= 0 {
+		c.MaxLease = time.Minute
+	}
+	if c.IdleTTL <= 0 {
+		c.IdleTTL = time.Second
+	}
+	return c
+}
+
+// entry is one named lock in the table. refs counts holds plus in-flight
+// acquirers (guarded by the owning shard's mu); an entry whose refs hit
+// zero is deleted by the sweeper once it has been idle for IdleTTL.
+type entry struct {
+	name   string
+	lock   fairlock.RWMutex
+	refs   int
+	idleAt time.Time
+}
+
+// shard is one stripe of the lock table, padded so that neighbouring
+// shards' mutexes never share a cache line.
+type shard struct {
+	mu      sync.Mutex
+	entries map[string]*entry
+	_       [112]byte
+}
+
+// hold records what one session holds on one entry. Holds are keyed by
+// lock name in the session (O(1) release lookup) and recycled through a
+// one-element free list, so the steady acquire/release cycle does not
+// allocate.
+type hold struct {
+	e      *entry
+	shared int
+	excl   bool
+}
+
+// Session is one client's registration: a lease deadline, a revocation
+// channel that cancellable acquires select on, and the set of holds to
+// release when the session dies.
+type Session struct {
+	id     uint64
+	cancel chan struct{}
+
+	mu       sync.Mutex
+	deadline time.Time
+	closed   bool
+	holds    map[string]*hold
+	free     *hold
+}
+
+// Manager is the sharded, lease-based lock service. Create one with New;
+// all methods are safe for concurrent use.
+type Manager struct {
+	cfg  Config
+	mask uint32
+
+	shards []shard
+
+	smu      sync.RWMutex
+	sessions map[uint64]*Session
+	nextSID  uint64
+
+	done   chan struct{}
+	closed atomic.Bool
+	wg     sync.WaitGroup
+
+	c      counters
+	waitMu sync.Mutex
+	wait   stats.Histogram // grant wait, nanoseconds
+}
+
+// New creates a Manager and starts its lease reaper / entry sweeper.
+// Callers must Close it to stop the background goroutine.
+func New(cfg Config) *Manager {
+	cfg = cfg.withDefaults()
+	m := &Manager{
+		cfg:      cfg,
+		mask:     uint32(cfg.Shards - 1),
+		shards:   make([]shard, cfg.Shards),
+		sessions: make(map[uint64]*Session),
+		done:     make(chan struct{}),
+	}
+	for i := range m.shards {
+		m.shards[i].entries = make(map[string]*entry)
+	}
+	m.wg.Add(1)
+	go m.reaper()
+	return m
+}
+
+// Close expires every session (releasing holds, cancelling waiters) and
+// stops the background sweeper. Blocked acquires return ErrExpired.
+func (m *Manager) Close() {
+	if m.closed.Swap(true) {
+		return
+	}
+	m.smu.RLock()
+	victims := make([]*Session, 0, len(m.sessions))
+	for _, s := range m.sessions {
+		victims = append(victims, s)
+	}
+	m.smu.RUnlock()
+	for _, s := range victims {
+		m.expireSession(s, false)
+	}
+	close(m.done)
+	m.wg.Wait()
+}
+
+// fnv32 is FNV-1a, the shard hash for lock names.
+func fnv32(s string) uint32 {
+	h := uint32(2166136261)
+	for i := 0; i < len(s); i++ {
+		h = (h ^ uint32(s[i])) * 16777619
+	}
+	return h
+}
+
+// ref returns name's entry, creating it on demand, with one reference
+// taken for the caller.
+func (m *Manager) ref(name string) *entry {
+	sh := &m.shards[fnv32(name)&m.mask]
+	sh.mu.Lock()
+	e := sh.entries[name]
+	if e == nil {
+		e = &entry{name: name}
+		sh.entries[name] = e
+		m.c.entriesCreated.Add(1)
+	}
+	e.refs++
+	sh.mu.Unlock()
+	return e
+}
+
+// deref drops one reference, stamping idleness with the caller's clock
+// reading. The entry stays in the table until the sweeper finds it idle
+// past IdleTTL, so a hot name is not reallocated (with its 2 KiB reader
+// table) on every acquire/release cycle.
+func (m *Manager) deref(e *entry, now time.Time) {
+	sh := &m.shards[fnv32(e.name)&m.mask]
+	sh.mu.Lock()
+	e.refs--
+	if e.refs == 0 {
+		e.idleAt = now
+	}
+	sh.mu.Unlock()
+}
+
+// clampLease applies the configured lease bounds; the floor is the sweep
+// interval so expiry is always detected within 2x the effective lease.
+func (m *Manager) clampLease(lease time.Duration) time.Duration {
+	if lease <= 0 {
+		lease = m.cfg.DefaultLease
+	}
+	if lease < m.cfg.SweepInterval {
+		lease = m.cfg.SweepInterval
+	}
+	if lease > m.cfg.MaxLease {
+		lease = m.cfg.MaxLease
+	}
+	return lease
+}
+
+// Open registers a new session with the given lease and returns its id.
+func (m *Manager) Open(lease time.Duration) (uint64, error) {
+	if m.closed.Load() {
+		return 0, ErrClosed
+	}
+	s := &Session{
+		cancel:   make(chan struct{}),
+		holds:    make(map[string]*hold),
+		deadline: time.Now().Add(m.clampLease(lease)),
+	}
+	m.smu.Lock()
+	m.nextSID++
+	s.id = m.nextSID
+	m.sessions[s.id] = s
+	m.smu.Unlock()
+	m.c.sessionsOpened.Add(1)
+	return s.id, nil
+}
+
+// session resolves sid, treating unknown ids as expired (the reaper
+// deletes expired sessions, so a stale id and an expired one are
+// indistinguishable — exactly like a lapsed LRT reservation).
+func (m *Manager) session(sid uint64) (*Session, error) {
+	m.smu.RLock()
+	s := m.sessions[sid]
+	m.smu.RUnlock()
+	if s == nil {
+		return nil, ErrExpired
+	}
+	return s, nil
+}
+
+// KeepAlive extends sid's lease to now+lease (clamped). A session whose
+// lease already lapsed is expired immediately and ErrExpired returned:
+// keepalive cannot resurrect a reservation the table already broke.
+func (m *Manager) KeepAlive(sid uint64, lease time.Duration) error {
+	s, err := m.session(sid)
+	if err != nil {
+		return err
+	}
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return ErrExpired
+	}
+	now := time.Now()
+	if now.After(s.deadline) {
+		s.mu.Unlock()
+		m.expireSession(s, true)
+		return ErrExpired
+	}
+	s.deadline = now.Add(m.clampLease(lease))
+	s.mu.Unlock()
+	m.c.keepalives.Add(1)
+	return nil
+}
+
+// CloseSession gracefully ends a session: every hold is released, every
+// queued waiter cancelled, in one step.
+func (m *Manager) CloseSession(sid uint64) error {
+	s, err := m.session(sid)
+	if err != nil {
+		return err
+	}
+	m.expireSession(s, false)
+	return nil
+}
+
+// expireSession revokes a session: marks it closed, cancels its queued
+// waiters via the revocation channel, releases all holds (unblocking
+// FIFO-ordered waiters on each lock), and deletes it from the table. It
+// is idempotent; expired says whether this was a lease expiry (reaper,
+// lapsed keepalive) or a graceful close.
+func (m *Manager) expireSession(s *Session, expired bool) {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return
+	}
+	s.closed = true
+	holds := s.holds
+	s.holds = nil
+	s.mu.Unlock()
+
+	close(s.cancel)
+	now := time.Now()
+	for _, h := range holds {
+		if h.excl {
+			h.e.lock.Unlock()
+			m.c.revokedHolds.Add(1)
+			m.deref(h.e, now)
+		}
+		for i := 0; i < h.shared; i++ {
+			h.e.lock.RUnlock()
+			m.c.revokedHolds.Add(1)
+			m.deref(h.e, now)
+		}
+	}
+	m.smu.Lock()
+	delete(m.sessions, s.id)
+	m.smu.Unlock()
+	if expired {
+		m.c.expirations.Add(1)
+	} else {
+		m.c.sessionsClosed.Add(1)
+	}
+}
+
+// Acquire takes name for sid in shared or exclusive mode.
+//
+//	wait == 0  try: fail with ErrTimeout unless immediately available
+//	wait  > 0  timed: wait in FIFO order up to wait (capped at the
+//	           remaining lease), ErrTimeout on expiry
+//	wait  < 0  wait until granted or the session's lease expires
+//
+// All three map one-to-one onto fairlock's TryLock/TryLockFor/LockCancel
+// family, so service-side admission order is exactly the lock's.
+func (m *Manager) Acquire(sid uint64, name string, excl bool, wait time.Duration) error {
+	if name == "" || len(name) > MaxNameLen {
+		return ErrName
+	}
+	s, err := m.session(sid)
+	if err != nil {
+		return err
+	}
+	now := time.Now()
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return ErrExpired
+	}
+	remain := s.deadline.Sub(now)
+	if remain <= 0 {
+		s.mu.Unlock()
+		m.expireSession(s, true)
+		return ErrExpired
+	}
+	if excl {
+		if h := s.holds[name]; h != nil && h.excl {
+			// Exclusive re-acquire can only deadlock against itself;
+			// reject it before it parks.
+			s.mu.Unlock()
+			return ErrHeld
+		}
+	}
+	s.mu.Unlock()
+
+	e := m.ref(name)
+	m.c.waiting.Add(1)
+	// Every acquire probes the lock-free try path first; uncontended
+	// grants record a zero wait without touching the clock again, and only
+	// acquires that actually have to queue pay for timestamps and the
+	// timer machinery.
+	var ok bool
+	if excl {
+		ok = e.lock.TryLock()
+	} else {
+		ok = e.lock.TryRLock()
+	}
+	waited := time.Duration(0)
+	if !ok && wait != 0 {
+		t0 := time.Now()
+		if wait > 0 {
+			if wait > remain {
+				wait = remain
+			}
+			if excl {
+				ok = e.lock.TryLockFor(wait)
+			} else {
+				ok = e.lock.TryRLockFor(wait)
+			}
+		} else {
+			if excl {
+				ok = e.lock.LockCancel(s.cancel)
+			} else {
+				ok = e.lock.RLockCancel(s.cancel)
+			}
+		}
+		waited = time.Since(t0)
+	}
+	m.c.waiting.Add(-1)
+	if !ok {
+		m.deref(e, time.Now())
+		if wait < 0 {
+			// Only revocation cancels an unbounded wait.
+			return ErrExpired
+		}
+		m.c.timeouts.Add(1)
+		return ErrTimeout
+	}
+	m.observeWait(waited)
+
+	s.mu.Lock()
+	if s.closed {
+		// Granted after revocation (the grant/cancel race, or a timed
+		// acquire that outlived the lease): hand the lock straight back.
+		s.mu.Unlock()
+		if excl {
+			e.lock.Unlock()
+		} else {
+			e.lock.RUnlock()
+		}
+		m.deref(e, time.Now())
+		return ErrExpired
+	}
+	h := s.holds[name]
+	if h == nil {
+		if h = s.free; h != nil {
+			s.free = nil
+			*h = hold{e: e}
+		} else {
+			h = &hold{e: e}
+		}
+		s.holds[name] = h
+	}
+	if excl {
+		h.excl = true
+	} else {
+		h.shared++
+	}
+	s.mu.Unlock()
+	if excl {
+		m.c.exclGrants.Add(1)
+	} else {
+		m.c.sharedGrants.Add(1)
+	}
+	return nil
+}
+
+// Release drops one shared or the exclusive hold of sid on name. Releases
+// from expired or closed sessions are rejected with ErrExpired — the
+// table already revoked (or will revoke) those holds itself, and a late
+// release must not unlock a grant that now belongs to someone else.
+func (m *Manager) Release(sid uint64, name string, excl bool) error {
+	s, err := m.session(sid)
+	if err != nil {
+		return err
+	}
+	now := time.Now()
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return ErrExpired
+	}
+	if now.After(s.deadline) {
+		s.mu.Unlock()
+		m.expireSession(s, true)
+		return ErrExpired
+	}
+	h := s.holds[name]
+	if h == nil || (excl && !h.excl) || (!excl && h.shared == 0) {
+		s.mu.Unlock()
+		return ErrNotHeld
+	}
+	e := h.e
+	if excl {
+		h.excl = false
+	} else {
+		h.shared--
+	}
+	if !h.excl && h.shared == 0 {
+		delete(s.holds, name)
+		s.free = h
+	}
+	s.mu.Unlock()
+	if excl {
+		e.lock.Unlock()
+	} else {
+		e.lock.RUnlock()
+	}
+	m.deref(e, now)
+	m.c.releases.Add(1)
+	return nil
+}
+
+// reaper periodically expires lapsed sessions and deletes idle entries.
+func (m *Manager) reaper() {
+	defer m.wg.Done()
+	t := time.NewTicker(m.cfg.SweepInterval)
+	defer t.Stop()
+	for {
+		select {
+		case <-m.done:
+			return
+		case <-t.C:
+		}
+		m.sweep(time.Now())
+	}
+}
+
+// sweep runs one reaper pass at the given instant.
+func (m *Manager) sweep(now time.Time) {
+	var victims []*Session
+	m.smu.RLock()
+	for _, s := range m.sessions {
+		s.mu.Lock()
+		if !s.closed && now.After(s.deadline) {
+			victims = append(victims, s)
+		}
+		s.mu.Unlock()
+	}
+	m.smu.RUnlock()
+	for _, s := range victims {
+		m.expireSession(s, true)
+	}
+
+	for i := range m.shards {
+		sh := &m.shards[i]
+		sh.mu.Lock()
+		for name, e := range sh.entries {
+			if e.refs == 0 && now.Sub(e.idleAt) >= m.cfg.IdleTTL {
+				delete(sh.entries, name)
+				m.c.entriesGCed.Add(1)
+			}
+		}
+		sh.mu.Unlock()
+	}
+}
+
+// QueueLen reports how many waiters are queued on name right now (0 for
+// an absent entry). Diagnostics only.
+func (m *Manager) QueueLen(name string) int {
+	sh := &m.shards[fnv32(name)&m.mask]
+	sh.mu.Lock()
+	e := sh.entries[name]
+	sh.mu.Unlock()
+	if e == nil {
+		return 0
+	}
+	return e.lock.QueueLen()
+}
+
+// EntryCount returns the number of entries currently in the table,
+// including idle ones the sweeper has not collected yet.
+func (m *Manager) EntryCount() int {
+	n := 0
+	for i := range m.shards {
+		sh := &m.shards[i]
+		sh.mu.Lock()
+		n += len(sh.entries)
+		sh.mu.Unlock()
+	}
+	return n
+}
+
+// SessionCount returns the number of live sessions.
+func (m *Manager) SessionCount() int {
+	m.smu.RLock()
+	defer m.smu.RUnlock()
+	return len(m.sessions)
+}

@@ -1,0 +1,424 @@
+package lockmgr
+
+import (
+	"sync"
+	"testing"
+	"time"
+)
+
+// fastCfg keeps test leases and sweeps short: 5ms reaper, 50ms idle GC.
+func fastCfg() Config {
+	return Config{
+		Shards:        4,
+		SweepInterval: 5 * time.Millisecond,
+		DefaultLease:  time.Second,
+		MaxLease:      10 * time.Second,
+		IdleTTL:       50 * time.Millisecond,
+	}
+}
+
+func newTest(t *testing.T, cfg Config) *Manager {
+	t.Helper()
+	m := New(cfg)
+	t.Cleanup(m.Close)
+	return m
+}
+
+func mustOpen(t *testing.T, m *Manager, lease time.Duration) uint64 {
+	t.Helper()
+	sid, err := m.Open(lease)
+	if err != nil {
+		t.Fatalf("Open: %v", err)
+	}
+	return sid
+}
+
+func TestAcquireReleaseBasic(t *testing.T) {
+	m := newTest(t, fastCfg())
+	a := mustOpen(t, m, time.Second)
+	b := mustOpen(t, m, time.Second)
+
+	// Two sessions share; an exclusive try fails until both release.
+	if err := m.Acquire(a, "k", false, 0); err != nil {
+		t.Fatalf("shared acquire: %v", err)
+	}
+	if err := m.Acquire(b, "k", false, 0); err != nil {
+		t.Fatalf("second shared acquire: %v", err)
+	}
+	if err := m.Acquire(a, "k", true, 0); err != ErrTimeout {
+		t.Fatalf("exclusive try over readers = %v, want ErrTimeout", err)
+	}
+	if err := m.Release(a, "k", false); err != nil {
+		t.Fatalf("release: %v", err)
+	}
+	if err := m.Release(b, "k", false); err != nil {
+		t.Fatalf("release: %v", err)
+	}
+	if err := m.Acquire(a, "k", true, 0); err != nil {
+		t.Fatalf("exclusive after drain: %v", err)
+	}
+	// Exclusive re-acquire by the same session is rejected, not deadlocked.
+	if err := m.Acquire(a, "k", true, -1); err != ErrHeld {
+		t.Fatalf("exclusive re-acquire = %v, want ErrHeld", err)
+	}
+	if err := m.Release(a, "k", true); err != nil {
+		t.Fatalf("release exclusive: %v", err)
+	}
+
+	// Releasing what is not held, in either mode, is rejected.
+	if err := m.Release(a, "k", true); err != ErrNotHeld {
+		t.Fatalf("double release = %v, want ErrNotHeld", err)
+	}
+	if err := m.Release(a, "never", false); err != ErrNotHeld {
+		t.Fatalf("release unknown = %v, want ErrNotHeld", err)
+	}
+
+	st := m.Stats()
+	if st.SharedGrants != 2 || st.ExclGrants != 1 || st.Releases != 3 {
+		t.Fatalf("counters = %+v", st)
+	}
+}
+
+func TestInvalidNamesAndSessions(t *testing.T) {
+	m := newTest(t, fastCfg())
+	sid := mustOpen(t, m, time.Second)
+	if err := m.Acquire(sid, "", false, 0); err != ErrName {
+		t.Fatalf("empty name = %v, want ErrName", err)
+	}
+	long := make([]byte, MaxNameLen+1)
+	if err := m.Acquire(sid, string(long), false, 0); err != ErrName {
+		t.Fatalf("oversized name = %v, want ErrName", err)
+	}
+	if err := m.Acquire(999999, "k", false, 0); err != ErrExpired {
+		t.Fatalf("unknown session = %v, want ErrExpired", err)
+	}
+	if err := m.KeepAlive(999999, time.Second); err != ErrExpired {
+		t.Fatalf("unknown keepalive = %v, want ErrExpired", err)
+	}
+}
+
+// TestKilledClientReclaimedFIFO is the acceptance scenario: a session dies
+// holding an exclusive lock with a FIFO of waiters behind it. The hold
+// must be reclaimed within 2x the lease and every queued waiter granted
+// in arrival order (writer first, then the reader batch).
+func TestKilledClientReclaimedFIFO(t *testing.T) {
+	m := newTest(t, fastCfg())
+	const lease = 100 * time.Millisecond
+
+	dead := mustOpen(t, m, lease)
+	if err := m.Acquire(dead, "k", true, 0); err != nil {
+		t.Fatalf("dead session acquire: %v", err)
+	}
+	// The "client" now crashes: no keepalive, no release.
+
+	var mu sync.Mutex
+	var order []int
+	var wg sync.WaitGroup
+	grantAt := make([]time.Time, 3)
+	start := time.Now()
+	for i, excl := range []bool{true, false, false} { // W0, then readers R1 R2
+		i, excl := i, excl
+		sid := mustOpen(t, m, 5*time.Second)
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			if err := m.Acquire(sid, "k", excl, -1); err != nil {
+				t.Errorf("waiter %d: %v", i, err)
+				return
+			}
+			mu.Lock()
+			order = append(order, i)
+			grantAt[i] = time.Now()
+			mu.Unlock()
+			if excl {
+				// Hold long enough that the readers behind cannot be
+				// granted before this writer's release.
+				time.Sleep(2 * time.Millisecond)
+			}
+			if err := m.Release(sid, "k", excl); err != nil {
+				t.Errorf("waiter %d release: %v", i, err)
+			}
+		}()
+		// Enforce arrival order before launching the next waiter.
+		deadline := time.Now().Add(5 * time.Second)
+		for m.QueueLen("k") != i+1 {
+			if time.Now().After(deadline) {
+				t.Fatalf("waiter %d never queued", i)
+			}
+			time.Sleep(100 * time.Microsecond)
+		}
+	}
+	wg.Wait()
+	reclaim := grantAt[0].Sub(start)
+
+	if order[0] != 0 {
+		t.Fatalf("grant order %v: writer W0 must be first (FIFO)", order)
+	}
+	if reclaim > 2*lease {
+		t.Fatalf("exclusive hold reclaimed after %v, want <= %v", reclaim, 2*lease)
+	}
+	st := m.Stats()
+	if st.LeaseExpirations == 0 || st.RevokedHolds == 0 {
+		t.Fatalf("expected expiry accounting, got %+v", st)
+	}
+	// The dead session is gone: its late release must be rejected.
+	if err := m.Release(dead, "k", true); err != ErrExpired {
+		t.Fatalf("late release from dead session = %v, want ErrExpired", err)
+	}
+}
+
+// TestKeepAliveExtendsLease verifies the reservation stays live as long
+// as keepalives arrive, and breaks promptly once they stop.
+func TestKeepAliveExtendsLease(t *testing.T) {
+	m := newTest(t, fastCfg())
+	const lease = 60 * time.Millisecond
+	sid := mustOpen(t, m, lease)
+	if err := m.Acquire(sid, "k", true, 0); err != nil {
+		t.Fatalf("acquire: %v", err)
+	}
+	probe := mustOpen(t, m, 5*time.Second)
+
+	// Keep the session alive for ~4 lease periods.
+	stop := time.Now().Add(4 * lease)
+	for time.Now().Before(stop) {
+		if err := m.KeepAlive(sid, lease); err != nil {
+			t.Fatalf("keepalive: %v", err)
+		}
+		if err := m.Acquire(probe, "k", true, 0); err != ErrTimeout {
+			t.Fatalf("probe acquired while keepalives flowing: %v", err)
+		}
+		time.Sleep(lease / 4)
+	}
+
+	// Stop keepalives: the hold must be revoked and the probe granted.
+	if err := m.Acquire(probe, "k", true, -1); err != nil {
+		t.Fatalf("probe after keepalives stopped: %v", err)
+	}
+	if err := m.KeepAlive(sid, lease); err != ErrExpired {
+		t.Fatalf("keepalive on expired session = %v, want ErrExpired", err)
+	}
+	if err := m.Release(probe, "k", true); err != nil {
+		t.Fatalf("probe release: %v", err)
+	}
+}
+
+// TestExpiredSessionReleaseRejected pins the satellite requirement
+// directly: a release arriving after the lease lapsed — even before the
+// reaper ran — must be rejected, in both modes.
+func TestExpiredSessionReleaseRejected(t *testing.T) {
+	cfg := fastCfg()
+	cfg.SweepInterval = 20 * time.Millisecond // slow reaper: expiry seen lazily
+	m := newTest(t, cfg)
+	sid := mustOpen(t, m, cfg.SweepInterval) // minimum lease
+	if err := m.Acquire(sid, "r", false, 0); err != nil {
+		t.Fatalf("acquire: %v", err)
+	}
+	time.Sleep(cfg.SweepInterval + cfg.SweepInterval/2)
+	if err := m.Release(sid, "r", false); err != ErrExpired {
+		t.Fatalf("lapsed shared release = %v, want ErrExpired", err)
+	}
+}
+
+// TestBlockedWaiterCancelledOnExpiry: a session blocked in queue dies;
+// its unbounded acquire must return ErrExpired and leave the queue clean.
+func TestBlockedWaiterCancelledOnExpiry(t *testing.T) {
+	m := newTest(t, fastCfg())
+	holder := mustOpen(t, m, 5*time.Second)
+	if err := m.Acquire(holder, "k", true, 0); err != nil {
+		t.Fatalf("holder acquire: %v", err)
+	}
+	const lease = 50 * time.Millisecond
+	doomed := mustOpen(t, m, lease)
+	errc := make(chan error, 1)
+	go func() { errc <- m.Acquire(doomed, "k", true, -1) }()
+	select {
+	case err := <-errc:
+		if err != ErrExpired {
+			t.Fatalf("doomed acquire = %v, want ErrExpired", err)
+		}
+	case <-time.After(10 * lease):
+		t.Fatal("doomed waiter not cancelled by lease expiry")
+	}
+	if n := m.QueueLen("k"); n != 0 {
+		t.Fatalf("queue not cleaned after cancellation: %d", n)
+	}
+	if err := m.Release(holder, "k", true); err != nil {
+		t.Fatalf("holder release: %v", err)
+	}
+}
+
+// TestTimedAcquire covers the timed path: bounded FIFO wait, timeout
+// against a held lock, and the lease cap on the requested wait.
+func TestTimedAcquire(t *testing.T) {
+	m := newTest(t, fastCfg())
+	holder := mustOpen(t, m, 5*time.Second)
+	if err := m.Acquire(holder, "k", true, 0); err != nil {
+		t.Fatalf("holder: %v", err)
+	}
+	w := mustOpen(t, m, 5*time.Second)
+	t0 := time.Now()
+	if err := m.Acquire(w, "k", false, 30*time.Millisecond); err != ErrTimeout {
+		t.Fatalf("timed acquire = %v, want ErrTimeout", err)
+	}
+	if d := time.Since(t0); d > 3*time.Second {
+		t.Fatalf("timed acquire took %v", d)
+	}
+	// Short-lease session: its 10s request is capped at the lease.
+	s := mustOpen(t, m, 50*time.Millisecond)
+	t0 = time.Now()
+	if err := m.Acquire(s, "k", true, 10*time.Second); err != ErrTimeout {
+		t.Fatalf("lease-capped acquire = %v, want ErrTimeout", err)
+	}
+	if d := time.Since(t0); d > time.Second {
+		t.Fatalf("lease cap not applied: waited %v", d)
+	}
+	// After release the timed path grants.
+	if err := m.Release(holder, "k", true); err != nil {
+		t.Fatalf("release: %v", err)
+	}
+	if err := m.Acquire(w, "k", false, time.Second); err != nil {
+		t.Fatalf("timed acquire after release: %v", err)
+	}
+}
+
+// TestEntryGC: entries appear on demand and the sweeper collects them
+// once idle past IdleTTL, while held entries survive.
+func TestEntryGC(t *testing.T) {
+	m := newTest(t, fastCfg())
+	sid := mustOpen(t, m, time.Second)
+	for _, name := range []string{"a", "b", "c"} {
+		if err := m.Acquire(sid, name, false, 0); err != nil {
+			t.Fatalf("acquire %s: %v", name, err)
+		}
+	}
+	if n := m.EntryCount(); n != 3 {
+		t.Fatalf("entries = %d, want 3", n)
+	}
+	for _, name := range []string{"a", "b"} {
+		if err := m.Release(sid, name, false); err != nil {
+			t.Fatalf("release %s: %v", name, err)
+		}
+	}
+	deadline := time.Now().Add(5 * time.Second)
+	for m.EntryCount() != 1 {
+		if time.Now().After(deadline) {
+			t.Fatalf("idle entries not collected: %d left", m.EntryCount())
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	st := m.Stats()
+	if st.EntriesCreated != 3 || st.EntriesGCed != 2 {
+		t.Fatalf("entry accounting: %+v", st)
+	}
+	// The held entry survives GC and is still functional.
+	if err := m.Release(sid, "c", false); err != nil {
+		t.Fatalf("release c: %v", err)
+	}
+}
+
+// TestCloseSessionReleasesEverything: graceful close is a bulk release.
+func TestCloseSessionReleasesEverything(t *testing.T) {
+	m := newTest(t, fastCfg())
+	sid := mustOpen(t, m, time.Second)
+	if err := m.Acquire(sid, "x", true, 0); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Acquire(sid, "y", false, 0); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Acquire(sid, "y", false, 0); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.CloseSession(sid); err != nil {
+		t.Fatalf("close: %v", err)
+	}
+	other := mustOpen(t, m, time.Second)
+	if err := m.Acquire(other, "x", true, 0); err != nil {
+		t.Fatalf("x still held after close: %v", err)
+	}
+	if err := m.Acquire(other, "y", true, 0); err != nil {
+		t.Fatalf("y still held after close: %v", err)
+	}
+	if m.SessionCount() != 1 {
+		t.Fatalf("sessions = %d, want 1", m.SessionCount())
+	}
+	st := m.Stats()
+	if st.SessionsClosed != 1 || st.RevokedHolds != 3 {
+		t.Fatalf("close accounting: %+v", st)
+	}
+}
+
+// TestManagerClose: Close cancels blocked acquires and is idempotent.
+func TestManagerClose(t *testing.T) {
+	m := New(fastCfg())
+	holder, _ := m.Open(time.Second)
+	if err := m.Acquire(holder, "k", true, 0); err != nil {
+		t.Fatal(err)
+	}
+	blocked, _ := m.Open(time.Second)
+	errc := make(chan error, 1)
+	go func() { errc <- m.Acquire(blocked, "k", true, -1) }()
+	deadline := time.Now().Add(5 * time.Second)
+	for m.QueueLen("k") != 1 {
+		if time.Now().After(deadline) {
+			t.Fatal("waiter never queued")
+		}
+		time.Sleep(100 * time.Microsecond)
+	}
+	m.Close()
+	if err := <-errc; err != ErrExpired {
+		t.Fatalf("blocked acquire after Close = %v, want ErrExpired", err)
+	}
+	if _, err := m.Open(time.Second); err != ErrClosed {
+		t.Fatalf("Open after Close = %v, want ErrClosed", err)
+	}
+	m.Close() // idempotent
+}
+
+// TestConcurrentChurn hammers the manager from many sessions across a
+// small keyspace with mixed modes and waits; run under -race in CI. The
+// invariant checks live in fairlock itself; here we assert no errors
+// other than the expected timeouts, and a clean final state.
+func TestConcurrentChurn(t *testing.T) {
+	m := newTest(t, fastCfg())
+	keys := []string{"a", "b", "c", "d"}
+	const goroutines = 8
+	const iters = 200
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		g := g
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			sid := mustOpen(t, m, 5*time.Second)
+			for i := 0; i < iters; i++ {
+				name := keys[(g+i)%len(keys)]
+				excl := (g+i)%10 == 0
+				err := m.Acquire(sid, name, excl, 100*time.Millisecond)
+				if err == ErrTimeout {
+					continue
+				}
+				if err != nil {
+					t.Errorf("acquire: %v", err)
+					return
+				}
+				if err := m.Release(sid, name, excl); err != nil {
+					t.Errorf("release: %v", err)
+					return
+				}
+			}
+			if err := m.CloseSession(sid); err != nil {
+				t.Errorf("close session: %v", err)
+			}
+		}()
+	}
+	wg.Wait()
+	if m.SessionCount() != 0 {
+		t.Fatalf("sessions leaked: %d", m.SessionCount())
+	}
+	for _, k := range keys {
+		if n := m.QueueLen(k); n != 0 {
+			t.Fatalf("queue %s not drained: %d", k, n)
+		}
+	}
+}

@@ -1,0 +1,105 @@
+package server
+
+import (
+	"net"
+	"testing"
+	"time"
+
+	"fairrw/internal/lockmgr"
+	"fairrw/internal/lockmgr/client"
+)
+
+// BenchmarkAcquireRelease measures one closed-loop acquire+release pair
+// over loopback TCP — the per-op cost cmd/lockload's throughput is built
+// from (two wire round trips per iteration).
+func BenchmarkAcquireRelease(b *testing.B) {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		b.Fatal(err)
+	}
+	srv := New(lockmgr.New(lockmgr.Config{}))
+	go srv.Serve(ln)
+	defer srv.Shutdown(time.Second)
+
+	c, err := client.Dial(ln.Addr().String())
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer c.Close()
+	sid, err := c.Open(time.Minute)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := c.Acquire(sid, "bench-key", false, time.Second); err != nil {
+			b.Fatal(err)
+		}
+		if err := c.Release(sid, "bench-key", false); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkAcquireReleasePipelined is the same pair with the release and
+// the next acquire pipelined into one write (what cmd/lockload does).
+func BenchmarkAcquireReleasePipelined(b *testing.B) {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		b.Fatal(err)
+	}
+	srv := New(lockmgr.New(lockmgr.Config{}))
+	go srv.Serve(ln)
+	defer srv.Shutdown(time.Second)
+
+	c, err := client.Dial(ln.Addr().String())
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer c.Close()
+	sid, err := c.Open(time.Minute)
+	if err != nil {
+		b.Fatal(err)
+	}
+	if err := c.Acquire(sid, "bench-key", false, time.Second); err != nil {
+		b.Fatal(err)
+	}
+	var errs []error
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		c.QueueRelease(sid, "bench-key", false)
+		c.QueueAcquire(sid, "bench-key", false, time.Second)
+		errs, err = c.Flush(errs[:0])
+		if err != nil {
+			b.Fatal(err)
+		}
+		for _, e := range errs {
+			if e != nil {
+				b.Fatal(e)
+			}
+		}
+	}
+}
+
+// BenchmarkManagerAcquireRelease is the same pair without the network:
+// the manager's own overhead per acquire+release.
+func BenchmarkManagerAcquireRelease(b *testing.B) {
+	m := lockmgr.New(lockmgr.Config{})
+	defer m.Close()
+	sid, err := m.Open(time.Minute)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := m.Acquire(sid, "bench-key", false, time.Second); err != nil {
+			b.Fatal(err)
+		}
+		if err := m.Release(sid, "bench-key", false); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,197 @@
+// Package server runs a lockmgr.Manager behind lockd's TCP wire
+// protocol: one goroutine per connection, strict request framing, and a
+// graceful drain that answers every in-flight acquire before the process
+// exits. cmd/lockd is a thin flag wrapper around this package, so tests
+// (and load generators) can embed a real server in-process.
+package server
+
+import (
+	"bufio"
+	"encoding/json"
+	"errors"
+	"net"
+	"sync"
+	"time"
+
+	"fairrw/internal/lockmgr"
+	"fairrw/internal/lockmgr/wire"
+)
+
+// Server serves one Manager over TCP.
+type Server struct {
+	m *lockmgr.Manager
+
+	mu       sync.Mutex
+	ln       net.Listener
+	conns    map[net.Conn]struct{}
+	draining bool
+
+	wg sync.WaitGroup
+}
+
+// New wraps m in a Server. The caller retains ownership of m until
+// Shutdown, which closes it.
+func New(m *lockmgr.Manager) *Server {
+	return &Server{m: m, conns: make(map[net.Conn]struct{})}
+}
+
+// Serve accepts connections on ln until Shutdown. It returns nil after a
+// graceful drain, or the accept error that stopped it.
+func (s *Server) Serve(ln net.Listener) error {
+	s.mu.Lock()
+	if s.draining {
+		s.mu.Unlock()
+		return errors.New("lockd: server already shut down")
+	}
+	s.ln = ln
+	s.mu.Unlock()
+	for {
+		conn, err := ln.Accept()
+		if err != nil {
+			s.mu.Lock()
+			draining := s.draining
+			s.mu.Unlock()
+			if draining {
+				return nil
+			}
+			return err
+		}
+		s.mu.Lock()
+		if s.draining {
+			s.mu.Unlock()
+			conn.Close()
+			return nil
+		}
+		s.conns[conn] = struct{}{}
+		s.wg.Add(1)
+		s.mu.Unlock()
+		go s.handle(conn)
+	}
+}
+
+// Shutdown gracefully drains the server: stop accepting, cancel blocked
+// acquires (every waiter gets a definitive StatusExpired response), wake
+// idle connection readers, and wait up to grace for handlers to finish
+// before force-closing what remains. The Manager is closed as part of the
+// drain.
+func (s *Server) Shutdown(grace time.Duration) {
+	s.mu.Lock()
+	if s.draining {
+		s.mu.Unlock()
+		s.wg.Wait()
+		return
+	}
+	s.draining = true
+	ln := s.ln
+	for c := range s.conns {
+		// Wake handlers parked in ReadFrame; in-flight requests still
+		// write their response before noticing the deadline.
+		c.SetReadDeadline(time.Now())
+	}
+	s.mu.Unlock()
+
+	if ln != nil {
+		ln.Close()
+	}
+	s.m.Close() // expire sessions: unblocks LockCancel/RLockCancel waiters
+
+	done := make(chan struct{})
+	go func() {
+		s.wg.Wait()
+		close(done)
+	}()
+	select {
+	case <-done:
+	case <-time.After(grace):
+		s.mu.Lock()
+		for c := range s.conns {
+			c.Close()
+		}
+		s.mu.Unlock()
+		<-done
+	}
+}
+
+// handle is the per-connection loop: read frame, decode, execute, respond.
+// Any framing or decode error drops the connection — after garbage the
+// stream cannot be trusted. Sessions are not tied to the connection; the
+// lease reaper collects them if the client never returns.
+func (s *Server) handle(conn net.Conn) {
+	defer func() {
+		conn.Close()
+		s.mu.Lock()
+		delete(s.conns, conn)
+		s.mu.Unlock()
+		s.wg.Done()
+	}()
+	var rbuf, wbuf []byte
+	br := bufio.NewReaderSize(conn, 4096)
+	for {
+		p, err := wire.ReadFrame(br, &rbuf)
+		if err != nil {
+			return
+		}
+		req, err := wire.DecodeRequest(p)
+		if err != nil {
+			return
+		}
+		resp := s.dispatch(&req)
+		wbuf, err = wire.AppendResponseFrame(wbuf, &resp)
+		if err != nil {
+			return
+		}
+		// Pipelined clients batch requests into one segment; accumulate
+		// the responses and flush them in one write once the read buffer
+		// runs dry. A client that never pipelines always flushes here
+		// immediately.
+		if br.Buffered() > 0 {
+			continue
+		}
+		if _, err := conn.Write(wbuf); err != nil {
+			return
+		}
+		wbuf = wbuf[:0]
+	}
+}
+
+// dispatch executes one decoded request against the manager.
+func (s *Server) dispatch(req *wire.Request) wire.Response {
+	var err error
+	resp := wire.Response{Status: wire.StatusOK}
+	switch req.Op {
+	case wire.OpOpen:
+		resp.SID, err = s.m.Open(time.Duration(req.Lease))
+	case wire.OpKeepAlive:
+		err = s.m.KeepAlive(req.SID, time.Duration(req.Lease))
+	case wire.OpClose:
+		err = s.m.CloseSession(req.SID)
+	case wire.OpAcquire:
+		err = s.m.Acquire(req.SID, req.Name, req.Excl, time.Duration(req.Wait))
+	case wire.OpRelease:
+		err = s.m.Release(req.SID, req.Name, req.Excl)
+	case wire.OpStats:
+		resp.Payload, err = json.Marshal(s.m.Stats())
+	default:
+		resp.Status = wire.StatusErr
+	}
+	if err != nil {
+		resp.Status = statusOf(err)
+	}
+	return resp
+}
+
+// statusOf maps manager errors onto wire statuses one-to-one.
+func statusOf(err error) wire.Status {
+	switch {
+	case errors.Is(err, lockmgr.ErrTimeout):
+		return wire.StatusTimeout
+	case errors.Is(err, lockmgr.ErrExpired), errors.Is(err, lockmgr.ErrClosed):
+		return wire.StatusExpired
+	case errors.Is(err, lockmgr.ErrNotHeld):
+		return wire.StatusNotHeld
+	case errors.Is(err, lockmgr.ErrHeld):
+		return wire.StatusHeld
+	default:
+		return wire.StatusErr
+	}
+}

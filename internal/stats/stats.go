@@ -171,6 +171,26 @@ func (h *Histogram) Add(v uint64) {
 	h.n++
 }
 
+// Merge folds o's samples into h, so per-worker histograms recorded
+// without sharing can be aggregated after the fact. Bucket layouts are
+// identical by construction, so the merge is exact.
+func (h *Histogram) Merge(o *Histogram) {
+	if o.n == 0 {
+		return
+	}
+	for i, c := range o.counts {
+		h.counts[i] += c
+	}
+	if h.n == 0 || o.min < h.min {
+		h.min = o.min
+	}
+	if o.max > h.max {
+		h.max = o.max
+	}
+	h.n += o.n
+	h.sum += o.sum
+}
+
 // Count returns the number of recorded samples.
 func (h *Histogram) Count() uint64 { return h.n }
 

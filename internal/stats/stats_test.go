@@ -2,6 +2,7 @@ package stats
 
 import (
 	"math"
+	"math/rand"
 	"testing"
 	"testing/quick"
 )
@@ -208,5 +209,41 @@ func TestHistogramBucketsCoverAllSamples(t *testing.T) {
 	}
 	if total != n {
 		t.Errorf("bucket counts sum to %d, want %d", total, n)
+	}
+}
+
+func TestHistogramMerge(t *testing.T) {
+	var a, b, whole Histogram
+	rng := rand.New(rand.NewSource(3))
+	for i := 0; i < 5000; i++ {
+		v := uint64(rng.Intn(1 << 20))
+		whole.Add(v)
+		if i%2 == 0 {
+			a.Add(v)
+		} else {
+			b.Add(v)
+		}
+	}
+	a.Merge(&b)
+	if a.Count() != whole.Count() || a.Min() != whole.Min() || a.Max() != whole.Max() {
+		t.Fatalf("merged count/min/max = %d/%d/%d, want %d/%d/%d",
+			a.Count(), a.Min(), a.Max(), whole.Count(), whole.Min(), whole.Max())
+	}
+	if a.Mean() != whole.Mean() {
+		t.Fatalf("merged mean %v, want %v", a.Mean(), whole.Mean())
+	}
+	for _, p := range []float64{1, 50, 99} {
+		if got, want := a.Percentile(p), whole.Percentile(p); got != want {
+			t.Fatalf("merged p%v = %v, want %v", p, got, want)
+		}
+	}
+	var empty Histogram
+	a.Merge(&empty) // no-op
+	if a.Count() != whole.Count() {
+		t.Fatal("merging an empty histogram changed the count")
+	}
+	empty.Merge(&a) // merge into zero value adopts min/max
+	if empty.Min() != whole.Min() || empty.Max() != whole.Max() {
+		t.Fatal("merge into empty histogram lost min/max")
 	}
 }
