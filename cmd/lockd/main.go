@@ -35,6 +35,7 @@ func main() {
 		maxLease     = flag.Duration("max-lease", time.Minute, "cap on requested leases")
 		idle         = flag.Duration("idle", 2*time.Second, "idle time before an unused lock entry is collected")
 		grace        = flag.Duration("grace", 5*time.Second, "drain grace period on shutdown")
+		workers      = flag.Int("workers", 0, "event-loop workers (0 = GOMAXPROCS)")
 		metricsPath  = flag.String("metrics", "", "write metrics JSON here on shutdown (\"-\" = stdout)")
 	)
 	flag.Parse()
@@ -50,7 +51,7 @@ func main() {
 		MaxLease:      *maxLease,
 		IdleTTL:       *idle,
 	})
-	srv := server.New(mgr)
+	srv := server.NewWithConfig(mgr, server.Config{Workers: *workers})
 
 	sig := make(chan os.Signal, 1)
 	signal.Notify(sig, syscall.SIGINT, syscall.SIGTERM)
@@ -60,7 +61,8 @@ func main() {
 		srv.Shutdown(*grace)
 	}()
 
-	log.Printf("lockd: serving on %s (%d shards, sweep %v)", ln.Addr(), *shards, *sweep)
+	log.Printf("lockd: serving on %s (%d shards, sweep %v, %d workers)",
+		ln.Addr(), *shards, *sweep, srv.Workers())
 	if err := srv.Serve(ln); err != nil {
 		log.Fatalf("lockd: serve: %v", err)
 	}

@@ -1,20 +1,33 @@
-// lockload is a closed-loop load generator for lockd: N worker
-// goroutines, each with its own connection and session, hammer a shared
-// keyspace with acquire/release pairs at a configured read ratio and
-// report throughput plus acquire-latency percentiles (per-worker
-// internal/stats histograms, merged).
+// lockload is the load generator for lockd. It runs in two modes:
 //
-// One run:
+// Closed loop (default): N worker goroutines, each with its own
+// connection and session, issue lock transactions back to back — each
+// worker's next request waits for its previous response. Throughput is
+// the primary output; latency percentiles describe an unloaded or
+// self-limited system. -depth pipelines several transactions per flush,
+// which amortizes the per-syscall cost that dominates loopback runs.
 //
-//	lockload -addr 127.0.0.1:7600 -conns 8 -duration 5s -readpct 90
+// Open loop (-open -rate R): arrivals follow a Poisson process at R
+// transactions/second across all connections, and each transaction's
+// latency is measured from its *scheduled* arrival time, not from when
+// the client got around to sending it. When the server falls behind,
+// queueing delay therefore lands in the histogram instead of silently
+// stretching the arrival gaps — the coordination-omission correction
+// that makes latency-under-load curves honest. -ratesweep produces one
+// run per rate point.
 //
-// A read-ratio sweep (one run per point, one table at the end):
+// One transaction is an acquire+release pair (two wire ops) on a key
+// drawn uniformly from -keys, shared with probability -readpct.
 //
-//	lockload -sweep 0,50,90,99,100 -duration 2s
+//	lockload -conns 8 -duration 5s -readpct 90            # closed loop
+//	lockload -depth 4 -json                               # pipelined, JSON out
+//	lockload -open -ratesweep 5000,10000,20000,40000      # latency curve
+//	lockload -check BENCH_lockd.json                      # validate bench doc
 //
-// The exit status is non-zero if any operation failed (timeouts on try or
-// timed acquires are contention, not failures), so CI can use a short
-// burst as a smoke test.
+// -warmup excludes a leading window from every statistic (histograms
+// reset when it closes). -json emits machine-readable results for
+// assembling BENCH_lockd.json; -check validates such a document and is
+// wired into CI so the committed numbers always parse.
 package main
 
 import (
@@ -35,61 +48,174 @@ import (
 	"fairrw/internal/stats"
 )
 
-type result struct {
-	readPct  int
-	elapsed  time.Duration
-	pairs    uint64 // successful acquire+release cycles
-	timeouts uint64
-	errors   uint64
-	lat      stats.Histogram // sampled flush (release+acquire) round-trip latency, ns
+// point is one run's result, shaped for both the human table and the
+// JSON document committed as BENCH_lockd.json.
+type point struct {
+	Mode    string  `json:"mode"` // "closed" or "open"
+	Server  string  `json:"server,omitempty"`
+	ReadPct int     `json:"read_pct"`
+	Conns   int     `json:"conns"`
+	Depth   int     `json:"depth,omitempty"`
+	Rate    float64 `json:"rate,omitempty"` // open loop: target transactions/s
+	DurS    float64 `json:"duration_s"`
+
+	Pairs        uint64  `json:"pairs"`
+	OpsPerSec    float64 `json:"ops_per_sec"` // wire ops: 2 per pair
+	AchievedRate float64 `json:"achieved_rate,omitempty"`
+	Timeouts     uint64  `json:"timeouts"`
+	Errors       uint64  `json:"errors"`
+
+	P50US  float64 `json:"p50_us"`
+	P95US  float64 `json:"p95_us"`
+	P99US  float64 `json:"p99_us"`
+	P999US float64 `json:"p999_us"`
+	MeanUS float64 `json:"mean_us"`
+	MaxUS  float64 `json:"max_us"`
 }
 
-// ops is the wire-operation count: one acquire plus one release per pair.
-func (r *result) ops() uint64 { return 2 * r.pairs }
+// benchDoc is the schema of BENCH_lockd.json. CI runs `lockload -check`
+// against the committed file, so the required keys below are enforced,
+// not aspirational.
+type benchDoc struct {
+	Host              string  `json:"host"`
+	Date              string  `json:"date"`
+	GoVersion         string  `json:"go_version"`
+	BaselineOpsPerSec float64 `json:"baseline_ops_per_sec"`
+	ClosedLoop        []point `json:"closed_loop"`
+	OpenLoop          []point `json:"open_loop"`
+	Notes             string  `json:"notes,omitempty"`
+}
+
+// worker carries one goroutine's tallies; merged after the run.
+type worker struct {
+	pairs    uint64
+	timeouts uint64
+	errors   uint64
+	lat      stats.Histogram // transaction latency, ns
+}
+
+func (w *worker) reset() {
+	w.pairs, w.timeouts, w.errors = 0, 0, 0
+	w.lat.Reset()
+}
+
+type runCfg struct {
+	addr     string
+	conns    int
+	duration time.Duration
+	warmup   time.Duration
+	readPct  int
+	keys     int
+	depth    int
+	rate     float64 // open loop only; transactions/s across all conns
+	open     bool
+	wait     time.Duration
+	lease    time.Duration
+	hold     time.Duration
+}
 
 func main() {
 	var (
-		addr     = flag.String("addr", "127.0.0.1:7600", "lockd address")
-		conns    = flag.Int("conns", 8, "concurrent client goroutines (one connection + session each)")
-		duration = flag.Duration("duration", 5*time.Second, "measurement window per run")
-		readPct  = flag.Int("readpct", 90, "percentage of acquires that are shared")
-		keys     = flag.Int("keys", 16, "distinct lock names")
-		wait     = flag.Duration("wait", time.Second, "acquire wait bound (FIFO timed acquire)")
-		lease    = flag.Duration("lease", 10*time.Second, "session lease")
-		hold     = flag.Duration("hold", 0, "critical-section hold time")
-		sweepArg = flag.String("sweep", "", "comma-separated read percentages; one run per point")
+		addr      = flag.String("addr", "127.0.0.1:7600", "lockd address")
+		conns     = flag.Int("conns", 8, "concurrent client goroutines (one connection + session each)")
+		duration  = flag.Duration("duration", 5*time.Second, "measurement window per run (after warmup)")
+		warmup    = flag.Duration("warmup", 0, "leading window excluded from all statistics")
+		readPct   = flag.Int("readpct", 90, "percentage of acquires that are shared")
+		keys      = flag.Int("keys", 16, "distinct lock names")
+		depth     = flag.Int("depth", 1, "closed loop: transactions pipelined per flush")
+		open      = flag.Bool("open", false, "open-loop mode: Poisson arrivals, latency from scheduled arrival")
+		rate      = flag.Float64("rate", 10000, "open loop: target transactions/s across all connections")
+		wait      = flag.Duration("wait", time.Second, "acquire wait bound (FIFO timed acquire)")
+		lease     = flag.Duration("lease", 10*time.Second, "session lease")
+		hold      = flag.Duration("hold", 0, "closed loop, depth 1: critical-section hold time")
+		sweepArg  = flag.String("sweep", "", "closed loop: comma-separated read percentages, one run per point")
+		rateSweep = flag.String("ratesweep", "", "open loop: comma-separated transaction rates, one run per point")
+		jsonOut   = flag.Bool("json", false, "emit a JSON array of run results instead of the table")
+		checkPath = flag.String("check", "", "validate a BENCH_lockd.json document and exit")
 	)
 	flag.Parse()
 
-	points := []int{*readPct}
-	if *sweepArg != "" {
-		points = points[:0]
+	if *checkPath != "" {
+		if err := checkBenchDoc(*checkPath); err != nil {
+			fmt.Fprintf(os.Stderr, "lockload: %s: %v\n", *checkPath, err)
+			os.Exit(1)
+		}
+		fmt.Printf("lockload: %s: ok\n", *checkPath)
+		return
+	}
+
+	cfg := runCfg{
+		addr: *addr, conns: *conns, duration: *duration, warmup: *warmup,
+		readPct: *readPct, keys: *keys, depth: *depth, rate: *rate,
+		open: *open, wait: *wait, lease: *lease, hold: *hold,
+	}
+	if cfg.depth < 1 {
+		log.Fatal("lockload: -depth must be >= 1")
+	}
+
+	type runSpec struct {
+		readPct int
+		rate    float64
+	}
+	specs := []runSpec{{*readPct, *rate}}
+	if *open && *rateSweep != "" {
+		specs = specs[:0]
+		for _, s := range strings.Split(*rateSweep, ",") {
+			r, err := strconv.ParseFloat(strings.TrimSpace(s), 64)
+			if err != nil || r <= 0 {
+				log.Fatalf("lockload: bad -ratesweep point %q", s)
+			}
+			specs = append(specs, runSpec{*readPct, r})
+		}
+	} else if !*open && *sweepArg != "" {
+		specs = specs[:0]
 		for _, s := range strings.Split(*sweepArg, ",") {
 			p, err := strconv.Atoi(strings.TrimSpace(s))
 			if err != nil || p < 0 || p > 100 {
 				log.Fatalf("lockload: bad -sweep point %q", s)
 			}
-			points = append(points, p)
+			specs = append(specs, runSpec{p, *rate})
 		}
 	}
 
-	fmt.Printf("lockload: %d conns, %v/run, %d keys, wait %v, hold %v -> %s\n",
-		*conns, *duration, *keys, *wait, *hold, *addr)
-	fmt.Printf("%7s %12s %12s %10s %10s %10s %9s %7s\n",
-		"read%", "pairs", "ops/s", "p50(us)", "p99(us)", "max(us)", "timeouts", "errors")
+	if !*jsonOut {
+		mode := "closed loop"
+		if *open {
+			mode = "open loop"
+		}
+		fmt.Printf("lockload: %s, %d conns, depth %d, %v/run (+%v warmup), %d keys, wait %v -> %s\n",
+			mode, cfg.conns, cfg.depth, cfg.duration, cfg.warmup, cfg.keys, cfg.wait, cfg.addr)
+		fmt.Printf("%7s %10s %12s %12s %9s %9s %9s %9s %9s %7s\n",
+			"read%", "rate", "pairs", "ops/s", "p50(us)", "p95(us)", "p99(us)", "p999(us)", "timeouts", "errors")
+	}
+	var results []point
 	var failed bool
-	for _, p := range points {
-		r := run(*addr, *conns, *duration, p, *keys, *wait, *lease, *hold)
-		fmt.Printf("%7d %12d %12.0f %10.1f %10.1f %10.1f %9d %7d\n",
-			r.readPct, r.pairs, float64(r.ops())/r.elapsed.Seconds(),
-			r.lat.Percentile(50)/1e3, r.lat.Percentile(99)/1e3, float64(r.lat.Max())/1e3,
-			r.timeouts, r.errors)
-		if r.errors > 0 {
+	for _, spec := range specs {
+		c := cfg
+		c.readPct, c.rate = spec.readPct, spec.rate
+		p := run(c)
+		results = append(results, p)
+		if p.Errors > 0 {
 			failed = true
 		}
+		if !*jsonOut {
+			rateCol := "-"
+			if *open {
+				rateCol = fmt.Sprintf("%.0f", p.Rate)
+			}
+			fmt.Printf("%7d %10s %12d %12.0f %9.1f %9.1f %9.1f %9.1f %9d %7d\n",
+				p.ReadPct, rateCol, p.Pairs, p.OpsPerSec,
+				p.P50US, p.P95US, p.P99US, p.P999US, p.Timeouts, p.Errors)
+		}
 	}
 
-	if c, err := client.Dial(*addr); err == nil {
+	if *jsonOut {
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(results); err != nil {
+			log.Fatal(err)
+		}
+	} else if c, err := client.Dial(*addr); err == nil {
 		if raw, err := c.Stats(); err == nil {
 			var snap lockmgr.Snapshot
 			if json.Unmarshal(raw, &snap) == nil {
@@ -105,115 +231,312 @@ func main() {
 	}
 }
 
-// run drives one closed-loop measurement window at the given read ratio.
-func run(addr string, conns int, duration time.Duration, readPct, keys int,
-	wait, lease, hold time.Duration) result {
+// checkBenchDoc enforces BENCH_lockd.json's contract: it parses, it
+// names its host and toolchain, it records the pre-change baseline, and
+// its open-loop curve has at least 4 rate points with sane percentiles.
+func checkBenchDoc(path string) error {
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		return err
+	}
+	var doc benchDoc
+	if err := json.Unmarshal(raw, &doc); err != nil {
+		return fmt.Errorf("parse: %w", err)
+	}
+	if doc.Host == "" || doc.Date == "" || doc.GoVersion == "" {
+		return fmt.Errorf("missing host/date/go_version")
+	}
+	if doc.BaselineOpsPerSec <= 0 {
+		return fmt.Errorf("baseline_ops_per_sec must be > 0")
+	}
+	if len(doc.ClosedLoop) == 0 {
+		return fmt.Errorf("closed_loop is empty")
+	}
+	if len(doc.OpenLoop) < 4 {
+		return fmt.Errorf("open_loop has %d points, need >= 4", len(doc.OpenLoop))
+	}
+	for i, p := range append(append([]point{}, doc.ClosedLoop...), doc.OpenLoop...) {
+		if p.Errors > 0 {
+			return fmt.Errorf("point %d: recorded with %d errors", i, p.Errors)
+		}
+		if p.OpsPerSec <= 0 {
+			return fmt.Errorf("point %d: ops_per_sec missing", i)
+		}
+		if p.P50US <= 0 || p.P99US < p.P50US {
+			return fmt.Errorf("point %d: implausible percentiles p50=%v p99=%v", i, p.P50US, p.P99US)
+		}
+	}
+	for i, p := range doc.OpenLoop {
+		if p.Mode != "open" || p.Rate <= 0 {
+			return fmt.Errorf("open_loop[%d]: not an open-loop point", i)
+		}
+	}
+	return nil
+}
 
+// run drives one measurement window and folds the workers' tallies.
+func run(cfg runCfg) point {
 	var stop atomic.Bool
-	results := make([]result, conns)
-	names := make([]string, keys)
+	var gen atomic.Uint32 // bumped when the warmup window closes
+	workers := make([]worker, cfg.conns)
+	names := make([]string, cfg.keys)
 	for i := range names {
 		names[i] = fmt.Sprintf("key-%04d", i)
 	}
 	var wg sync.WaitGroup
-	start := time.Now()
-	for w := 0; w < conns; w++ {
+	for w := 0; w < cfg.conns; w++ {
 		w := w
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
-			r := &results[w]
-			c, err := client.Dial(addr)
-			if err != nil {
-				log.Printf("lockload: worker %d: dial: %v", w, err)
-				r.errors++
-				return
-			}
-			defer c.Close()
-			sid, err := c.Open(lease)
-			if err != nil {
-				log.Printf("lockload: worker %d: open: %v", w, err)
-				r.errors++
-				return
-			}
-			defer c.CloseSession(sid)
-			rng := rand.New(rand.NewSource(int64(w) + 1))
-			// Clock reads are a measurable slice of a closed-loop worker's
-			// budget, so latency is sampled 1-in-16 rather than timed on
-			// every op.
-			const latSample = 16
-			var seq uint64
-			var t0 time.Time
-			var errs []error
-			// The previous iteration's release is pipelined with the next
-			// acquire: one write carries both requests and the server
-			// coalesces both responses, halving the syscalls per pair.
-			held := false
-			var heldKey string
-			var heldExcl bool
-			for !stop.Load() {
-				key := names[rng.Intn(keys)]
-				excl := rng.Intn(100) >= readPct
-				sampled := seq&(latSample-1) == 0
-				seq++
-				if sampled {
-					t0 = time.Now()
-				}
-				if held {
-					c.QueueRelease(sid, heldKey, heldExcl)
-				}
-				c.QueueAcquire(sid, key, excl, wait)
-				var err error
-				errs, err = c.Flush(errs[:0])
-				if err != nil {
-					log.Printf("lockload: worker %d: flush: %v", w, err)
-					r.errors++
-					return
-				}
-				if held {
-					if errs[0] != nil {
-						log.Printf("lockload: worker %d: release: %v", w, errs[0])
-						r.errors++
-						return
-					}
-					r.pairs++
-				}
-				acqErr := errs[len(errs)-1]
-				if acqErr == lockmgr.ErrTimeout {
-					r.timeouts++
-					held = false
-					continue
-				}
-				if acqErr != nil {
-					log.Printf("lockload: worker %d: acquire: %v", w, acqErr)
-					r.errors++
-					return
-				}
-				if sampled {
-					r.lat.Add(uint64(time.Since(t0)))
-				}
-				held, heldKey, heldExcl = true, key, excl
-				if hold > 0 {
-					time.Sleep(hold)
-				}
-			}
-			if held {
-				if err := c.Release(sid, heldKey, heldExcl); err == nil {
-					r.pairs++
-				}
+			if cfg.open {
+				runOpen(cfg, w, names, &workers[w], &stop, &gen)
+			} else {
+				runClosed(cfg, w, names, &workers[w], &stop, &gen)
 			}
 		}()
 	}
-	time.Sleep(duration)
+	if cfg.warmup > 0 {
+		time.Sleep(cfg.warmup)
+	}
+	gen.Add(1) // workers reset their tallies; measurement starts now
+	measStart := time.Now()
+	time.Sleep(cfg.duration)
 	stop.Store(true)
 	wg.Wait()
+	elapsed := time.Since(measStart)
 
-	total := result{readPct: readPct, elapsed: time.Since(start)}
-	for i := range results {
-		total.pairs += results[i].pairs
-		total.timeouts += results[i].timeouts
-		total.errors += results[i].errors
-		total.lat.Merge(&results[i].lat)
+	var total worker
+	for i := range workers {
+		total.pairs += workers[i].pairs
+		total.timeouts += workers[i].timeouts
+		total.errors += workers[i].errors
+		total.lat.Merge(&workers[i].lat)
 	}
-	return total
+	p := point{
+		ReadPct: cfg.readPct, Conns: cfg.conns, DurS: elapsed.Seconds(),
+		Pairs: total.pairs, OpsPerSec: float64(2*total.pairs) / elapsed.Seconds(),
+		Timeouts: total.timeouts, Errors: total.errors,
+		P50US: total.lat.Percentile(50) / 1e3, P95US: total.lat.Percentile(95) / 1e3,
+		P99US: total.lat.Percentile(99) / 1e3, P999US: total.lat.Percentile(99.9) / 1e3,
+		MeanUS: total.lat.Mean() / 1e3, MaxUS: float64(total.lat.Max()) / 1e3,
+	}
+	if cfg.open {
+		p.Mode, p.Rate = "open", cfg.rate
+		p.AchievedRate = float64(total.pairs) / elapsed.Seconds()
+	} else {
+		p.Mode, p.Depth = "closed", cfg.depth
+	}
+	return p
+}
+
+// dialWorker opens one connection+session; errors count, not crash.
+func dialWorker(cfg runCfg, w int, res *worker) (*client.Conn, uint64, bool) {
+	c, err := client.Dial(cfg.addr)
+	if err != nil {
+		log.Printf("lockload: worker %d: dial: %v", w, err)
+		res.errors++
+		return nil, 0, false
+	}
+	sid, err := c.Open(cfg.lease)
+	if err != nil {
+		log.Printf("lockload: worker %d: open: %v", w, err)
+		res.errors++
+		c.Close()
+		return nil, 0, false
+	}
+	return c, sid, true
+}
+
+// runClosed is the closed-loop worker. At depth 1 it pipelines the
+// previous transaction's release with the next acquire (holding each
+// lock across the flush gap, honoring -hold); at depth > 1 it pipelines
+// depth complete acquire+release transactions per flush and records the
+// flush round trip as the latency of each.
+func runClosed(cfg runCfg, w int, names []string, res *worker, stop *atomic.Bool, gen *atomic.Uint32) {
+	c, sid, ok := dialWorker(cfg, w, res)
+	if !ok {
+		return
+	}
+	defer c.Close()
+	defer c.CloseSession(sid)
+	rng := rand.New(rand.NewSource(int64(w) + 1))
+	var lastGen uint32
+	var errs []error
+
+	if cfg.depth > 1 {
+		keysN := len(names)
+		type slot struct {
+			key  string
+			excl bool
+		}
+		slots := make([]slot, cfg.depth)
+		for !stop.Load() {
+			if g := gen.Load(); g != lastGen {
+				lastGen = g
+				res.reset()
+			}
+			for i := range slots {
+				slots[i] = slot{names[rng.Intn(keysN)], rng.Intn(100) >= cfg.readPct}
+			}
+			t0 := time.Now()
+			for _, s := range slots {
+				c.QueueAcquire(sid, s.key, s.excl, cfg.wait)
+				c.QueueRelease(sid, s.key, s.excl)
+			}
+			var err error
+			errs, err = c.Flush(errs[:0])
+			if err != nil {
+				log.Printf("lockload: worker %d: flush: %v", w, err)
+				res.errors++
+				return
+			}
+			rtt := uint64(time.Since(t0))
+			for i := 0; i < len(errs); i += 2 {
+				acqErr, relErr := errs[i], errs[i+1]
+				switch {
+				case acqErr == lockmgr.ErrTimeout:
+					res.timeouts++
+					if relErr != lockmgr.ErrNotHeld {
+						log.Printf("lockload: worker %d: release after timeout: %v", w, relErr)
+						res.errors++
+						return
+					}
+				case acqErr != nil || relErr != nil:
+					log.Printf("lockload: worker %d: pair: %v / %v", w, acqErr, relErr)
+					res.errors++
+					return
+				default:
+					res.pairs++
+					res.lat.Add(rtt)
+				}
+			}
+		}
+		return
+	}
+
+	// Depth 1: the previous iteration's release is pipelined with the
+	// next acquire, so the lock is held across the flush gap and a pair
+	// costs one write and one (coalesced) read on each side. Clock reads
+	// are a measurable slice of the budget, so latency samples 1-in-16.
+	const latSample = 16
+	var seq uint64
+	var t0 time.Time
+	held := false
+	var heldKey string
+	var heldExcl bool
+	for !stop.Load() {
+		if g := gen.Load(); g != lastGen {
+			lastGen = g
+			res.reset()
+		}
+		key := names[rng.Intn(len(names))]
+		excl := rng.Intn(100) >= cfg.readPct
+		sampled := seq&(latSample-1) == 0
+		seq++
+		if sampled {
+			t0 = time.Now()
+		}
+		if held {
+			c.QueueRelease(sid, heldKey, heldExcl)
+		}
+		c.QueueAcquire(sid, key, excl, cfg.wait)
+		var err error
+		errs, err = c.Flush(errs[:0])
+		if err != nil {
+			log.Printf("lockload: worker %d: flush: %v", w, err)
+			res.errors++
+			return
+		}
+		if held {
+			if errs[0] != nil {
+				log.Printf("lockload: worker %d: release: %v", w, errs[0])
+				res.errors++
+				return
+			}
+			res.pairs++
+		}
+		acqErr := errs[len(errs)-1]
+		if acqErr == lockmgr.ErrTimeout {
+			res.timeouts++
+			held = false
+			continue
+		}
+		if acqErr != nil {
+			log.Printf("lockload: worker %d: acquire: %v", w, acqErr)
+			res.errors++
+			return
+		}
+		if sampled {
+			res.lat.Add(uint64(time.Since(t0)))
+		}
+		held, heldKey, heldExcl = true, key, excl
+		if cfg.hold > 0 {
+			time.Sleep(cfg.hold)
+		}
+	}
+	if held {
+		if err := c.Release(sid, heldKey, heldExcl); err == nil {
+			res.pairs++
+		}
+	}
+}
+
+// runOpen is the open-loop worker: Poisson arrivals at rate/conns
+// transactions/s, every transaction timed from its scheduled arrival.
+// If the previous transaction ran long the next one starts late but its
+// latency clock started on schedule — queueing delay is charged to the
+// response time, never hidden in the arrival process.
+func runOpen(cfg runCfg, w int, names []string, res *worker, stop *atomic.Bool, gen *atomic.Uint32) {
+	c, sid, ok := dialWorker(cfg, w, res)
+	if !ok {
+		return
+	}
+	defer c.Close()
+	defer c.CloseSession(sid)
+	rng := rand.New(rand.NewSource(int64(w) + 1))
+	lambda := cfg.rate / float64(cfg.conns) // this worker's arrivals/s
+	var lastGen uint32
+	var errs []error
+
+	next := time.Now()
+	for !stop.Load() {
+		if g := gen.Load(); g != lastGen {
+			lastGen = g
+			res.reset()
+		}
+		next = next.Add(time.Duration(rng.ExpFloat64() / lambda * 1e9))
+		if d := time.Until(next); d > 0 {
+			time.Sleep(d)
+		}
+		key := names[rng.Intn(len(names))]
+		excl := rng.Intn(100) >= cfg.readPct
+		c.QueueAcquire(sid, key, excl, cfg.wait)
+		c.QueueRelease(sid, key, excl)
+		var err error
+		errs, err = c.Flush(errs[:0])
+		if err != nil {
+			log.Printf("lockload: worker %d: flush: %v", w, err)
+			res.errors++
+			return
+		}
+		acqErr, relErr := errs[0], errs[1]
+		switch {
+		case acqErr == lockmgr.ErrTimeout:
+			res.timeouts++
+			if relErr != lockmgr.ErrNotHeld {
+				log.Printf("lockload: worker %d: release after timeout: %v", w, relErr)
+				res.errors++
+				return
+			}
+		case acqErr != nil || relErr != nil:
+			log.Printf("lockload: worker %d: pair: %v / %v", w, acqErr, relErr)
+			res.errors++
+			return
+		default:
+			res.pairs++
+			// Latency from the scheduled arrival, not the send.
+			res.lat.Add(uint64(time.Since(next)))
+		}
+	}
 }

@@ -1,0 +1,171 @@
+package lockmgr
+
+import (
+	"testing"
+	"time"
+)
+
+// TestExecBatchBasics drives a mixed batch end to end: open, grants in
+// both modes, dup-excl rejection, releases, over-release, close.
+func TestExecBatchBasics(t *testing.T) {
+	m := New(Config{Shards: 4})
+	defer m.Close()
+	sc := m.NewBatchScratch()
+
+	open := []BatchOp{{Kind: BatchOpen, Lease: int64(time.Second)}}
+	m.ExecBatch(open, sc)
+	if open[0].Err != nil || open[0].OutSID == 0 {
+		t.Fatalf("batch open: %+v", open[0])
+	}
+	sid := open[0].OutSID
+
+	ops := []BatchOp{
+		{Kind: BatchAcquire, SID: sid, Name: []byte("a")},              // shared grant
+		{Kind: BatchAcquire, SID: sid, Name: []byte("a")},              // second shared
+		{Kind: BatchAcquire, SID: sid, Name: []byte("b"), Excl: true},  // excl grant
+		{Kind: BatchAcquire, SID: sid, Name: []byte("b"), Excl: true},  // dup excl
+		{Kind: BatchRelease, SID: sid, Name: []byte("a")},              // release shared
+		{Kind: BatchRelease, SID: sid, Name: []byte("a")},              // release shared
+		{Kind: BatchRelease, SID: sid, Name: []byte("a")},              // over-release
+		{Kind: BatchKeepAlive, SID: sid, Lease: int64(time.Second)},
+		{Kind: BatchRelease, SID: sid, Name: []byte("b"), Excl: true},
+		{Kind: BatchCloseSession, SID: sid},
+		{Kind: BatchAcquire, SID: sid, Name: []byte("c")}, // after close
+	}
+	m.ExecBatch(ops, sc)
+	want := []error{nil, nil, nil, ErrHeld, nil, nil, ErrNotHeld, nil, nil, nil, ErrExpired}
+	for i, w := range want {
+		if ops[i].Err != w {
+			t.Fatalf("op %d: got %v, want %v", i, ops[i].Err, w)
+		}
+	}
+	snap := m.Stats()
+	if snap.SharedGrants != 2 || snap.ExclGrants != 1 || snap.Releases != 3 {
+		t.Fatalf("counters: %+v", snap)
+	}
+	if snap.WaitCount != 3 {
+		t.Fatalf("wait histogram got %d grants, want 3", snap.WaitCount)
+	}
+}
+
+// TestExecBatchWouldBlockAndDeferral: a contended acquire with Wait != 0
+// returns ErrWouldBlock with no side effects, and every later op with
+// the same Tag is deferred — while other tags proceed.
+func TestExecBatchWouldBlockAndDeferral(t *testing.T) {
+	m := New(Config{Shards: 4})
+	defer m.Close()
+	sc := m.NewBatchScratch()
+
+	holder, _ := m.Open(time.Second)
+	other, _ := m.Open(time.Second)
+	if err := m.Acquire(holder, "k", true, 0); err != nil {
+		t.Fatal(err)
+	}
+
+	ops := []BatchOp{
+		{Kind: BatchAcquire, Tag: 1, SID: other, Name: []byte("k"), Excl: true, Wait: -1}, // parks
+		{Kind: BatchAcquire, Tag: 1, SID: other, Name: []byte("free")},                    // deferred
+		{Kind: BatchRelease, Tag: 1, SID: other, Name: []byte("free")},                    // deferred
+		{Kind: BatchAcquire, Tag: 2, SID: other, Name: []byte("free")},                    // proceeds
+		{Kind: BatchAcquire, Tag: 3, SID: other, Name: []byte("k"), Wait: 0},              // try: timeout
+	}
+	m.ExecBatch(ops, sc)
+	want := []error{ErrWouldBlock, ErrDeferred, ErrDeferred, nil, ErrTimeout}
+	for i, w := range want {
+		if ops[i].Err != w {
+			t.Fatalf("op %d: got %v, want %v", i, ops[i].Err, w)
+		}
+	}
+
+	// The would-block acquire left no trace: the holder can release and
+	// the other session can then take the lock exclusively on a try.
+	if err := m.Release(holder, "k", true); err != nil {
+		t.Fatal(err)
+	}
+	retry := []BatchOp{{Kind: BatchAcquire, SID: other, Name: []byte("k"), Excl: true}}
+	m.ExecBatch(retry, sc)
+	if retry[0].Err != nil {
+		t.Fatalf("retry after release: %v", retry[0].Err)
+	}
+	if got := m.Stats().Timeouts; got != 1 {
+		t.Fatalf("timeouts = %d, want 1 (would-block must not count)", got)
+	}
+}
+
+// TestExecBatchRefcounts: entries refed by failed batch acquires are
+// unrefed again, so the sweeper can collect them.
+func TestExecBatchRefcounts(t *testing.T) {
+	m := New(Config{Shards: 4, SweepInterval: 5 * time.Millisecond, IdleTTL: time.Millisecond})
+	defer m.Close()
+	sc := m.NewBatchScratch()
+
+	holder, _ := m.Open(time.Minute)
+	if err := m.Acquire(holder, "held", true, 0); err != nil {
+		t.Fatal(err)
+	}
+	ops := []BatchOp{
+		{Kind: BatchAcquire, SID: holder, Name: []byte("idle1")},
+		{Kind: BatchRelease, SID: holder, Name: []byte("idle1")},
+		{Kind: BatchAcquire, SID: 999999, Name: []byte("idle2")}, // expired session
+	}
+	m.ExecBatch(ops, sc)
+	if ops[2].Err != ErrExpired {
+		t.Fatalf("expired-session acquire: %v", ops[2].Err)
+	}
+	deadline := time.Now().Add(2 * time.Second)
+	for m.EntryCount() > 1 {
+		if time.Now().After(deadline) {
+			t.Fatalf("idle entries never collected: %d left", m.EntryCount())
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+}
+
+// TestExecBatchSteadyStateAllocs: re-acquiring existing entries through
+// the batch path must not allocate (names alias the caller's buffer,
+// holds recycle, scratch is reused).
+func TestExecBatchSteadyStateAllocs(t *testing.T) {
+	m := New(Config{Shards: 4})
+	defer m.Close()
+	sc := m.NewBatchScratch()
+	sid, _ := m.Open(time.Minute)
+
+	name := []byte("steady")
+	ops := make([]BatchOp, 2)
+	// Prime: create the entry and the hold record once.
+	ops[0] = BatchOp{Kind: BatchAcquire, SID: sid, Name: name}
+	ops[1] = BatchOp{Kind: BatchRelease, SID: sid, Name: name}
+	m.ExecBatch(ops, sc)
+
+	allocs := testing.AllocsPerRun(200, func() {
+		ops[0] = BatchOp{Kind: BatchAcquire, SID: sid, Name: name}
+		ops[1] = BatchOp{Kind: BatchRelease, SID: sid, Name: name}
+		m.ExecBatch(ops, sc)
+		if ops[0].Err != nil || ops[1].Err != nil {
+			t.Fatal(ops[0].Err, ops[1].Err)
+		}
+	})
+	if allocs != 0 {
+		t.Fatalf("ExecBatch steady state allocs = %.1f, want 0", allocs)
+	}
+}
+
+// BenchmarkExecBatchPair measures the batched acquire+release pair cost
+// (compare BenchmarkManagerAcquireRelease in the server package).
+func BenchmarkExecBatchPair(b *testing.B) {
+	m := New(Config{})
+	defer m.Close()
+	sc := m.NewBatchScratch()
+	sid, _ := m.Open(time.Minute)
+	name := []byte("bench-key")
+	ops := make([]BatchOp, 16)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i += 8 {
+		for j := 0; j < 8; j++ {
+			ops[2*j] = BatchOp{Kind: BatchAcquire, SID: sid, Name: name}
+			ops[2*j+1] = BatchOp{Kind: BatchRelease, SID: sid, Name: name}
+		}
+		m.ExecBatch(ops, sc)
+	}
+}

@@ -21,6 +21,13 @@ import (
 	"fairrw/internal/lockmgr/wire"
 )
 
+// ErrClientClosed is returned by every operation on a closed Conn,
+// including Flush of requests that were queued before Close. It is
+// deliberately distinct from the transport's write-on-closed-socket
+// error: callers racing a shutdown path against an in-flight pipeline
+// can test for it with errors.Is instead of parsing net.OpError.
+var ErrClientClosed = errors.New("lockd client: connection closed")
+
 // Conn is one client connection to a lockd server.
 type Conn struct {
 	nc      net.Conn
@@ -28,6 +35,7 @@ type Conn struct {
 	rbuf    []byte
 	wbuf    []byte
 	pending int
+	closed  bool
 }
 
 // Dial connects to a lockd server at addr (host:port).
@@ -41,10 +49,21 @@ func Dial(addr string) (*Conn, error) {
 
 // Close closes the connection. Sessions opened on it live on until their
 // leases lapse (or CloseSession is called from another connection).
-func (c *Conn) Close() error { return c.nc.Close() }
+// Requests queued but not flushed are discarded; a later Flush reports
+// ErrClientClosed rather than silently dropping them.
+func (c *Conn) Close() error {
+	if c.closed {
+		return nil
+	}
+	c.closed = true
+	return c.nc.Close()
+}
 
 // roundTrip sends req and decodes the single response.
 func (c *Conn) roundTrip(req *wire.Request) (wire.Response, error) {
+	if c.closed {
+		return wire.Response{}, ErrClientClosed
+	}
 	if c.pending != 0 {
 		return wire.Response{}, errors.New("lockd client: Flush queued requests before a synchronous call")
 	}
@@ -151,6 +170,9 @@ func (c *Conn) QueueRelease(sid uint64, name string, excl bool) error {
 }
 
 func (c *Conn) queue(req *wire.Request) error {
+	if c.closed {
+		return ErrClientClosed
+	}
 	if c.pending == 0 {
 		// wbuf still holds the previous already-written request; a new
 		// batch starts clean.
@@ -173,6 +195,10 @@ func (c *Conn) queue(req *wire.Request) error {
 // release+acquire pair costs one syscall each way on each side instead of
 // two.
 func (c *Conn) Flush(errs []error) ([]error, error) {
+	if c.closed {
+		c.pending = 0
+		return errs, ErrClientClosed
+	}
 	n := c.pending
 	c.pending = 0
 	if n == 0 {

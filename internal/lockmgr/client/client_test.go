@@ -1,0 +1,109 @@
+package client_test
+
+import (
+	"errors"
+	"net"
+	"testing"
+	"time"
+
+	"fairrw/internal/lockmgr"
+	"fairrw/internal/lockmgr/client"
+	"fairrw/internal/lockmgr/server"
+)
+
+func startServer(t *testing.T) (addr string, shutdown func()) {
+	t.Helper()
+	m := lockmgr.New(lockmgr.Config{})
+	srv := server.New(m)
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	done := make(chan struct{})
+	go func() {
+		srv.Serve(ln)
+		close(done)
+	}()
+	return ln.Addr().String(), func() {
+		srv.Shutdown(2 * time.Second)
+		<-done
+	}
+}
+
+// TestClosedConnTyped: every entry point on a closed Conn reports
+// ErrClientClosed, including a Flush whose requests were queued (and
+// possibly even granted server-side) before Close — the client cannot
+// know which, so it refuses with the typed error instead of returning a
+// transport error or, worse, a partial result.
+func TestClosedConnTyped(t *testing.T) {
+	addr, shutdown := startServer(t)
+	defer shutdown()
+
+	c, err := client.Dial(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sid, err := c.Open(time.Minute)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Queue a pipeline but close before Flush: the requests are in
+	// flight from the caller's point of view.
+	if err := c.QueueAcquire(sid, "a", true, 0); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.QueueRelease(sid, "a", true); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	if _, err := c.Flush(nil); !errors.Is(err, client.ErrClientClosed) {
+		t.Fatalf("Flush after close: %v, want ErrClientClosed", err)
+	}
+	// The discarded pipeline must not leak into a later Flush either.
+	if errs, err := c.Flush(nil); !errors.Is(err, client.ErrClientClosed) || len(errs) != 0 {
+		t.Fatalf("second Flush after close: errs=%v err=%v", errs, err)
+	}
+	if err := c.QueueAcquire(sid, "b", false, 0); !errors.Is(err, client.ErrClientClosed) {
+		t.Fatalf("QueueAcquire after close: %v", err)
+	}
+	if err := c.QueueRelease(sid, "b", false); !errors.Is(err, client.ErrClientClosed) {
+		t.Fatalf("QueueRelease after close: %v", err)
+	}
+	if err := c.Acquire(sid, "b", false, 0); !errors.Is(err, client.ErrClientClosed) {
+		t.Fatalf("Acquire after close: %v", err)
+	}
+	if err := c.Release(sid, "b", false); !errors.Is(err, client.ErrClientClosed) {
+		t.Fatalf("Release after close: %v", err)
+	}
+	if _, err := c.Open(time.Minute); !errors.Is(err, client.ErrClientClosed) {
+		t.Fatalf("Open after close: %v", err)
+	}
+	if err := c.KeepAlive(sid, time.Minute); !errors.Is(err, client.ErrClientClosed) {
+		t.Fatalf("KeepAlive after close: %v", err)
+	}
+	if err := c.CloseSession(sid); !errors.Is(err, client.ErrClientClosed) {
+		t.Fatalf("CloseSession after close: %v", err)
+	}
+	if _, err := c.Stats(); !errors.Is(err, client.ErrClientClosed) {
+		t.Fatalf("Stats after close: %v", err)
+	}
+	if err := c.Close(); err != nil {
+		t.Fatalf("double Close: %v", err)
+	}
+
+	// The session outlives its connection: a fresh Conn can release the
+	// exclusive hold the pipeline may or may not have placed, then close
+	// the session for real.
+	c2, err := client.Dial(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c2.Close()
+	if err := c2.CloseSession(sid); err != nil {
+		t.Fatalf("CloseSession from second conn: %v", err)
+	}
+}

@@ -53,6 +53,14 @@ type Snapshot struct {
 	WaitTotalSecs float64 `json:"wait_total_secs"`
 }
 
+// observeZeroWaits records n uncontended grants (zero queue wait) from
+// one batch under a single histogram-lock hold.
+func (m *Manager) observeZeroWaits(n uint64) {
+	m.waitMu.Lock()
+	m.wait.AddN(0, n)
+	m.waitMu.Unlock()
+}
+
 // observeWait records one grant's queue wait.
 func (m *Manager) observeWait(d time.Duration) {
 	if d < 0 {

@@ -1,0 +1,127 @@
+package server
+
+import (
+	"net"
+	"sync"
+	"time"
+
+	"fairrw/internal/lockmgr/wire"
+)
+
+// maxInbox bounds the bytes a connection may have read-but-unprocessed.
+// When the bound is hit — a pipelining client running far ahead of a
+// parked acquire — the reader goroutine stops reading, which is exactly
+// TCP backpressure: the client's writes eventually block too.
+const maxInbox = 256 << 10
+
+// readChunk is the reader's per-syscall buffer. 16 KiB swallows a deep
+// pipeline of requests (a request frame is at most 4+1052 bytes) in one
+// read.
+const readChunk = 16 << 10
+
+// conn is one client connection. Its lifecycle spans three goroutines
+// with a strict split of ownership:
+//
+//   - the reader goroutine reads from the socket into inbox (guarded by
+//     mu) and enqueues the conn at its worker;
+//   - the owning worker moves inbox into pending, parses frames, and is
+//     the only writer to the socket;
+//   - Shutdown only touches the net.Conn (deadlines, Close), never the
+//     buffers.
+type conn struct {
+	id int32
+	nc net.Conn
+	w  *worker
+
+	mu     sync.Mutex
+	cond   *sync.Cond // reader waits here while inbox is full
+	inbox  []byte     // bytes read, not yet taken by the worker
+	queued bool       // conn is sitting in the worker's queue
+	eof    bool       // reader finished (EOF, error, or shutdown deadline)
+	closed bool       // worker dropped the conn; reader must not block
+
+	// Worker-owned state; no other goroutine touches these.
+	pending   []byte       // unparsed frame bytes (inbox is appended here)
+	parsePos  int          // parse cursor into pending
+	wb        *wire.Buffer // pooled backing store for wbuf
+	wbuf      []byte       // encoded responses awaiting the wakeup's flush
+	parked    bool         // a blocking acquire is in flight for this conn
+	statsWant bool         // parse stopped at an OpStats frame
+	dead      bool         // connection condemned; cleanup pending
+	removed   bool         // retired from the worker; ignore late events
+	eofSeen   bool         // worker has observed the reader's eof
+	inReady   bool         // already collected into the worker's ready set
+	flushMark bool         // wbuf touched this wakeup; flush before sleeping
+	wdlArmed  time.Time    // when the write deadline was last armed
+}
+
+// readLoop is the reader goroutine: blocking (netpoller-driven) reads
+// into inbox, waking the owning worker whenever new bytes land. It
+// exits on any read error; the final enqueue lets the worker observe
+// eof, answer what is already buffered, and reclaim the conn.
+func (c *conn) readLoop() {
+	buf := make([]byte, readChunk)
+	for {
+		n, err := c.nc.Read(buf)
+		c.mu.Lock()
+		if n > 0 {
+			for len(c.inbox) > maxInbox && !c.closed {
+				c.cond.Wait()
+			}
+			c.inbox = append(c.inbox, buf[:n]...)
+		}
+		if err != nil {
+			c.eof = true
+		}
+		c.mu.Unlock()
+		if n > 0 || err != nil {
+			// Fast path: be the loop ourselves. Only if another goroutine
+			// is currently running this worker's loop do we pay for the
+			// queue handoff — and then the bytes we just landed get
+			// batched with whatever else piled up during that cycle.
+			if !c.w.donate(c) {
+				c.mu.Lock()
+				notify := !c.queued
+				if notify {
+					c.queued = true
+				}
+				c.mu.Unlock()
+				if notify {
+					select {
+					case c.w.q <- c:
+					case <-c.w.dead:
+						return
+					}
+				}
+			}
+		}
+		if err != nil {
+			return
+		}
+	}
+}
+
+// take moves the inbox into the worker's pending buffer. Worker only.
+func (c *conn) take() (eof bool) {
+	c.mu.Lock()
+	if len(c.inbox) > 0 {
+		c.pending = append(c.pending, c.inbox...)
+		c.inbox = c.inbox[:0]
+		c.cond.Signal()
+	}
+	c.queued = false
+	eof = c.eof
+	c.mu.Unlock()
+	return eof
+}
+
+// compact drops the consumed prefix of pending. Called only after the
+// batch referencing pending's bytes has been executed and encoded.
+func (c *conn) compact() {
+	if c.parsePos == 0 {
+		return
+	}
+	n := copy(c.pending, c.pending[c.parsePos:])
+	c.pending = c.pending[:n]
+	c.parsePos = 0
+}

@@ -1,0 +1,188 @@
+package server
+
+import (
+	"bytes"
+	"encoding/binary"
+	"encoding/json"
+	"io"
+	"net"
+	"testing"
+	"time"
+
+	"fairrw/internal/lockmgr"
+)
+
+// waitForWaiting polls the stats endpoint until the server reports n
+// parked waiters.
+func waitForWaiting(t *testing.T, addr string, n int64) {
+	t.Helper()
+	probe := dial(t, addr)
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		raw, err := probe.Stats()
+		if err != nil {
+			t.Fatalf("stats: %v", err)
+		}
+		var snap lockmgr.Snapshot
+		if err := json.Unmarshal(raw, &snap); err != nil {
+			t.Fatal(err)
+		}
+		if snap.Waiting == n {
+			return
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("never reached %d waiters (waiting=%d)", n, snap.Waiting)
+		}
+		time.Sleep(time.Millisecond)
+	}
+}
+
+// TestDrainFlushesParkedAndDeferred is the drain-ordering regression
+// test for the event-loop runtime: a pipelined burst whose second frame
+// parks leaves its later frames deferred in the per-connection buffer
+// and their eventual responses coalesced in the connection's write
+// buffer. A graceful shutdown must resolve the parked acquire, execute
+// the deferred frames, and flush every response — in request order —
+// before the socket closes. Losing any of them (or closing first) is
+// exactly the bug this guards against.
+func TestDrainFlushesParkedAndDeferred(t *testing.T) {
+	addr, srv := startServer(t, testCfg())
+
+	holder := dial(t, addr)
+	hsid, err := holder.Open(5 * time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := holder.Acquire(hsid, "k", true, 0); err != nil {
+		t.Fatal(err)
+	}
+
+	burst := dial(t, addr)
+	bsid, err := burst.Open(5 * time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// One write, four frames: grant, park, then two deferred behind the
+	// park. Flush blocks reading responses until the drain resolves them.
+	if err := burst.QueueAcquire(bsid, "x", true, 0); err != nil {
+		t.Fatal(err)
+	}
+	if err := burst.QueueAcquire(bsid, "k", true, -1); err != nil {
+		t.Fatal(err)
+	}
+	if err := burst.QueueRelease(bsid, "x", true); err != nil {
+		t.Fatal(err)
+	}
+	if err := burst.QueueAcquire(bsid, "y", false, 0); err != nil {
+		t.Fatal(err)
+	}
+	type result struct {
+		errs []error
+		err  error
+	}
+	resc := make(chan result, 1)
+	go func() {
+		errs, err := burst.Flush(nil)
+		resc <- result{errs, err}
+	}()
+
+	waitForWaiting(t, addr, 1)
+	srv.Shutdown(5 * time.Second)
+
+	res := <-resc
+	if res.err != nil {
+		t.Fatalf("flush transport error: %v (responses dropped at drain)", res.err)
+	}
+	// The first acquire was granted before the drain; everything behind
+	// the park resolves after m.Close expired the sessions.
+	want := []error{nil, lockmgr.ErrExpired, lockmgr.ErrExpired, lockmgr.ErrExpired}
+	if len(res.errs) != len(want) {
+		t.Fatalf("got %d responses, want %d: %v", len(res.errs), len(want), res.errs)
+	}
+	for i, w := range want {
+		if res.errs[i] != w {
+			t.Fatalf("response %d: got %v, want %v", i, res.errs[i], w)
+		}
+	}
+}
+
+// TestWireCompatRawBytes pins the on-the-wire encoding with hand-frozen
+// bytes, independent of the wire package's encoder: a client built
+// against the previous server release must interoperate with this one
+// byte for byte. If this test fails, the protocol changed — which this
+// runtime rewrite explicitly must not do.
+func TestWireCompatRawBytes(t *testing.T) {
+	addr, _ := startServer(t, testCfg())
+	nc, err := net.Dial("tcp", addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer nc.Close()
+	nc.SetDeadline(time.Now().Add(10 * time.Second))
+
+	// OpOpen, sid 0, lease 60s, wait 0, shared, empty name.
+	open := []byte{
+		0, 0, 0, 28, // frame length: bare 28-byte header
+		1,                      // op = OpOpen
+		0, 0, 0, 0, 0, 0, 0, 0, // sid
+		0, 0, 0, 0x0d, 0xf8, 0x47, 0x58, 0, // lease = 60e9 ns
+		0, 0, 0, 0, 0, 0, 0, 0, // wait
+		0,    // excl = false
+		0, 0, // name length
+	}
+	if _, err := nc.Write(open); err != nil {
+		t.Fatal(err)
+	}
+	resp := make([]byte, 17) // 4 length + 13 header
+	if _, err := io.ReadFull(nc, resp); err != nil {
+		t.Fatal(err)
+	}
+	if got := binary.BigEndian.Uint32(resp[:4]); got != 13 {
+		t.Fatalf("open response length %d, want 13", got)
+	}
+	if resp[4] != 1 {
+		t.Fatalf("open status %d, want 1 (OK)", resp[4])
+	}
+	sid := resp[5:13]
+	if binary.BigEndian.Uint64(sid) == 0 {
+		t.Fatal("open returned sid 0")
+	}
+	if got := binary.BigEndian.Uint32(resp[13:17]); got != 0 {
+		t.Fatalf("open payload length %d, want 0", got)
+	}
+
+	// OpAcquire "k" exclusive, try (wait 0), then OpRelease, then an
+	// over-release. Every response is a bare 13-byte header whose exact
+	// bytes are known in advance.
+	frame := func(op byte, excl byte, name string) []byte {
+		var b []byte
+		b = binary.BigEndian.AppendUint32(b, uint32(28+len(name)))
+		b = append(b, op)
+		b = append(b, sid...)
+		b = append(b, make([]byte, 16)...) // lease, wait
+		b = append(b, excl)
+		b = binary.BigEndian.AppendUint16(b, uint16(len(name)))
+		return append(b, name...)
+	}
+	okResp := []byte{0, 0, 0, 13, 1, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0}
+	notHeldResp := []byte{0, 0, 0, 13, 4, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0}
+
+	// Pipelined in one write: the three responses must come back in
+	// order (possibly coalesced into one segment — framing still splits
+	// them) and byte-identical to the previous release's encoding.
+	var burst []byte
+	burst = append(burst, frame(4, 1, "k")...) // acquire excl
+	burst = append(burst, frame(5, 1, "k")...) // release
+	burst = append(burst, frame(5, 1, "k")...) // over-release
+	if _, err := nc.Write(burst); err != nil {
+		t.Fatal(err)
+	}
+	got := make([]byte, 3*17)
+	if _, err := io.ReadFull(nc, got); err != nil {
+		t.Fatal(err)
+	}
+	wantBytes := append(append(append([]byte{}, okResp...), okResp...), notHeldResp...)
+	if !bytes.Equal(got, wantBytes) {
+		t.Fatalf("pipelined responses:\n got %x\nwant %x", got, wantBytes)
+	}
+}

@@ -1,15 +1,25 @@
 // Package server runs a lockmgr.Manager behind lockd's TCP wire
-// protocol: one goroutine per connection, strict request framing, and a
-// graceful drain that answers every in-flight acquire before the process
-// exits. cmd/lockd is a thin flag wrapper around this package, so tests
-// (and load generators) can embed a real server in-process.
+// protocol on a sharded event-loop runtime: a small fixed set of worker
+// loops each owns a subset of the connections outright. Readiness is
+// delivered by per-connection reader goroutines (riding the Go runtime
+// netpoller) into the owning worker's queue; one worker wakeup drains
+// every queued event, decodes all ready connections, executes the lot
+// as a single lockmgr batch (each shard locked once per batch, one
+// clock read, zero allocations), and flushes each touched connection
+// with exactly one write. Blocking acquires never stall a loop: they
+// park as continuation records serviced by fairlock's cancellable
+// queues and their grants are injected back into the owning worker.
+//
+// The wire protocol and the public surface (New, Serve, Shutdown) are
+// unchanged from the goroutine-per-connection server this replaces;
+// cmd/lockd remains a thin flag wrapper, and tests can still embed a
+// real server in-process.
 package server
 
 import (
-	"bufio"
-	"encoding/json"
 	"errors"
 	"net"
+	"runtime"
 	"sync"
 	"time"
 
@@ -17,26 +27,69 @@ import (
 	"fairrw/internal/lockmgr/wire"
 )
 
+// Config tunes the runtime. The zero value is ready to use.
+type Config struct {
+	// Workers is the number of event loops. Default GOMAXPROCS.
+	Workers int
+	// WriteTimeout bounds each coalesced response write. Default 10s.
+	WriteTimeout time.Duration
+}
+
+func (c *Config) fill() {
+	if c.Workers <= 0 {
+		c.Workers = runtime.GOMAXPROCS(0)
+	}
+	if c.WriteTimeout <= 0 {
+		c.WriteTimeout = 10 * time.Second
+	}
+}
+
 // Server serves one Manager over TCP.
 type Server struct {
-	m *lockmgr.Manager
+	m   *lockmgr.Manager
+	cfg Config
+
+	workers []*worker
+	drainCh chan struct{} // closed once by Shutdown; observed by workers
+	wg      sync.WaitGroup
 
 	mu       sync.Mutex
 	ln       net.Listener
-	conns    map[net.Conn]struct{}
+	conns    map[*conn]struct{}
 	draining bool
-
-	wg sync.WaitGroup
+	nextID   int32
+	nextW    int
 }
 
-// New wraps m in a Server. The caller retains ownership of m until
-// Shutdown, which closes it.
+// New wraps m in a Server with default Config. The caller retains
+// ownership of m until Shutdown, which closes it.
 func New(m *lockmgr.Manager) *Server {
-	return &Server{m: m, conns: make(map[net.Conn]struct{})}
+	return NewWithConfig(m, Config{})
+}
+
+// NewWithConfig wraps m in a Server and starts its worker loops.
+func NewWithConfig(m *lockmgr.Manager, cfg Config) *Server {
+	cfg.fill()
+	s := &Server{
+		m:       m,
+		cfg:     cfg,
+		drainCh: make(chan struct{}),
+		conns:   make(map[*conn]struct{}),
+	}
+	s.workers = make([]*worker, cfg.Workers)
+	for i := range s.workers {
+		s.workers[i] = newWorker(s)
+	}
+	s.wg.Add(len(s.workers))
+	for _, w := range s.workers {
+		go w.run()
+	}
+	return s
 }
 
 // Serve accepts connections on ln until Shutdown. It returns nil after a
-// graceful drain, or the accept error that stopped it.
+// graceful drain, or the accept error that stopped it. Connections are
+// assigned to workers round-robin.
 func (s *Server) Serve(ln net.Listener) error {
 	s.mu.Lock()
 	if s.draining {
@@ -46,7 +99,7 @@ func (s *Server) Serve(ln net.Listener) error {
 	s.ln = ln
 	s.mu.Unlock()
 	for {
-		conn, err := ln.Accept()
+		nc, err := ln.Accept()
 		if err != nil {
 			s.mu.Lock()
 			draining := s.draining
@@ -59,21 +112,49 @@ func (s *Server) Serve(ln net.Listener) error {
 		s.mu.Lock()
 		if s.draining {
 			s.mu.Unlock()
-			conn.Close()
+			nc.Close()
 			return nil
 		}
-		s.conns[conn] = struct{}{}
-		s.wg.Add(1)
+		s.nextID++
+		w := s.workers[s.nextW]
+		s.nextW = (s.nextW + 1) % len(s.workers)
+		c := &conn{id: s.nextID, nc: nc, w: w}
+		c.cond = sync.NewCond(&c.mu)
+		wb := wire.GetBuffer()
+		c.wb = wb
+		c.wbuf = wb.B
+		s.conns[c] = struct{}{}
 		s.mu.Unlock()
-		go s.handle(conn)
+		// Register with the owning worker before any bytes arrive so the
+		// worker's connection count (its drain-exit condition) is exact.
+		c.mu.Lock()
+		c.queued = true
+		c.mu.Unlock()
+		select {
+		case w.q <- c:
+		case <-w.dead:
+			nc.Close()
+		}
+		go c.readLoop()
 	}
 }
 
-// Shutdown gracefully drains the server: stop accepting, cancel blocked
-// acquires (every waiter gets a definitive StatusExpired response), wake
-// idle connection readers, and wait up to grace for handlers to finish
-// before force-closing what remains. The Manager is closed as part of the
-// drain.
+// Workers reports the number of event loops the server runs.
+func (s *Server) Workers() int { return len(s.workers) }
+
+// removeConn forgets a connection retired by its worker.
+func (s *Server) removeConn(c *conn) {
+	s.mu.Lock()
+	delete(s.conns, c)
+	s.mu.Unlock()
+}
+
+// Shutdown gracefully drains the server: stop accepting, close the
+// Manager so every parked acquire resolves (its waiter gets a
+// definitive StatusExpired response), wake idle connection readers, and
+// wait up to grace for the workers to flush and retire every connection
+// before force-closing what remains. Buffered requests that arrived
+// before the drain are still executed and their responses flushed.
 func (s *Server) Shutdown(grace time.Duration) {
 	s.mu.Lock()
 	if s.draining {
@@ -84,15 +165,16 @@ func (s *Server) Shutdown(grace time.Duration) {
 	s.draining = true
 	ln := s.ln
 	for c := range s.conns {
-		// Wake handlers parked in ReadFrame; in-flight requests still
-		// write their response before noticing the deadline.
-		c.SetReadDeadline(time.Now())
+		// Kick readers out of their blocking Read; bytes already received
+		// are still parsed, executed, and answered by the worker.
+		c.nc.SetReadDeadline(time.Now())
 	}
 	s.mu.Unlock()
 
 	if ln != nil {
 		ln.Close()
 	}
+	close(s.drainCh)
 	s.m.Close() // expire sessions: unblocks LockCancel/RLockCancel waiters
 
 	done := make(chan struct{})
@@ -105,84 +187,18 @@ func (s *Server) Shutdown(grace time.Duration) {
 	case <-time.After(grace):
 		s.mu.Lock()
 		for c := range s.conns {
-			c.Close()
+			c.nc.Close()
 		}
 		s.mu.Unlock()
 		<-done
 	}
 }
 
-// handle is the per-connection loop: read frame, decode, execute, respond.
-// Any framing or decode error drops the connection — after garbage the
-// stream cannot be trusted. Sessions are not tied to the connection; the
-// lease reaper collects them if the client never returns.
-func (s *Server) handle(conn net.Conn) {
-	defer func() {
-		conn.Close()
-		s.mu.Lock()
-		delete(s.conns, conn)
-		s.mu.Unlock()
-		s.wg.Done()
-	}()
-	var rbuf, wbuf []byte
-	br := bufio.NewReaderSize(conn, 4096)
-	for {
-		p, err := wire.ReadFrame(br, &rbuf)
-		if err != nil {
-			return
-		}
-		req, err := wire.DecodeRequest(p)
-		if err != nil {
-			return
-		}
-		resp := s.dispatch(&req)
-		wbuf, err = wire.AppendResponseFrame(wbuf, &resp)
-		if err != nil {
-			return
-		}
-		// Pipelined clients batch requests into one segment; accumulate
-		// the responses and flush them in one write once the read buffer
-		// runs dry. A client that never pipelines always flushes here
-		// immediately.
-		if br.Buffered() > 0 {
-			continue
-		}
-		if _, err := conn.Write(wbuf); err != nil {
-			return
-		}
-		wbuf = wbuf[:0]
-	}
-}
-
-// dispatch executes one decoded request against the manager.
-func (s *Server) dispatch(req *wire.Request) wire.Response {
-	var err error
-	resp := wire.Response{Status: wire.StatusOK}
-	switch req.Op {
-	case wire.OpOpen:
-		resp.SID, err = s.m.Open(time.Duration(req.Lease))
-	case wire.OpKeepAlive:
-		err = s.m.KeepAlive(req.SID, time.Duration(req.Lease))
-	case wire.OpClose:
-		err = s.m.CloseSession(req.SID)
-	case wire.OpAcquire:
-		err = s.m.Acquire(req.SID, req.Name, req.Excl, time.Duration(req.Wait))
-	case wire.OpRelease:
-		err = s.m.Release(req.SID, req.Name, req.Excl)
-	case wire.OpStats:
-		resp.Payload, err = json.Marshal(s.m.Stats())
-	default:
-		resp.Status = wire.StatusErr
-	}
-	if err != nil {
-		resp.Status = statusOf(err)
-	}
-	return resp
-}
-
 // statusOf maps manager errors onto wire statuses one-to-one.
 func statusOf(err error) wire.Status {
 	switch {
+	case err == nil:
+		return wire.StatusOK
 	case errors.Is(err, lockmgr.ErrTimeout):
 		return wire.StatusTimeout
 	case errors.Is(err, lockmgr.ErrExpired), errors.Is(err, lockmgr.ErrClosed):

@@ -1,0 +1,394 @@
+package server
+
+import (
+	"encoding/binary"
+	"encoding/json"
+	"sync"
+	"time"
+
+	"fairrw/internal/lockmgr"
+	"fairrw/internal/lockmgr/wire"
+)
+
+// injection is a grant completion: a parked acquire finished (granted,
+// timed out, or revoked) and its response must be written by the conn's
+// owning worker, in order, ahead of the frames deferred behind it.
+type injection struct {
+	c   *conn
+	err error
+}
+
+// worker is one event loop. It owns a set of connections outright;
+// whoever holds loopMu is the loop at that moment — the only party that
+// parses their buffers, executes their requests, and writes their
+// sockets. One wakeup drains every event queued since the last one,
+// decodes all ready connections into a single lockmgr batch, executes
+// it with the shards locked once per batch, encodes the responses, and
+// flushes each touched connection with exactly one write.
+//
+// The loop has two executors. The dedicated goroutine (run) blocks on
+// the event channels and is the fallback that guarantees liveness. On
+// top of it, a reader that lands new bytes donates its own goroutine
+// when loopMu is free (donate), running the identical drain-and-process
+// cycle inline. In steady state with staggered arrivals this removes
+// the reader-to-worker handoff entirely — one goroutine reads,
+// executes, and writes, as a thread-per-connection server would — while
+// bursts that arrive during someone else's cycle still pile up in the
+// queue and get batched across connections on the next pass.
+type worker struct {
+	srv  *Server
+	q    chan *conn     // readiness: conn has new bytes (or hit EOF); nil = recheck exit
+	injq chan injection // grant completions from parked continuations
+	dead chan struct{}  // closed when the worker exits (unblocks senders)
+
+	loopMu sync.Mutex // held by whoever is being the loop
+
+	// All fields below are guarded by loopMu.
+	conns    map[*conn]struct{}
+	draining bool
+
+	sc      *lockmgr.BatchScratch
+	ops     []lockmgr.BatchOp
+	opConn  []*conn // opConn[i] owns ops[i]
+	opEnd   []int   // parse cursor just past ops[i]'s frame
+	ready   []*conn // conns to service this wakeup
+	statsCs []*conn // conns whose parse stopped at an OpStats frame
+}
+
+func newWorker(s *Server) *worker {
+	return &worker{
+		srv:   s,
+		q:     make(chan *conn, 256),
+		injq:  make(chan injection, 256),
+		dead:  make(chan struct{}),
+		conns: make(map[*conn]struct{}),
+		sc:    s.m.NewBatchScratch(),
+	}
+}
+
+// run is the fallback loop executor: block for one event, take the
+// loop, drain everything queued, process it as one batch, flush, sleep.
+func (w *worker) run() {
+	defer func() {
+		close(w.dead)
+		w.srv.wg.Done()
+	}()
+	drainCh := w.srv.drainCh
+	for {
+		w.loopMu.Lock()
+		exit := w.draining && len(w.conns) == 0
+		w.loopMu.Unlock()
+		if exit {
+			return
+		}
+		select {
+		case c := <-w.q:
+			w.loopMu.Lock()
+			w.noteReady(c)
+			w.drainEvents()
+			w.process()
+			w.loopMu.Unlock()
+		case inj := <-w.injq:
+			w.loopMu.Lock()
+			w.unpark(inj)
+			w.drainEvents()
+			w.process()
+			w.loopMu.Unlock()
+		case <-drainCh:
+			w.loopMu.Lock()
+			w.draining = true
+			w.loopMu.Unlock()
+			drainCh = nil // fire once; exit is decided at the loop head
+		}
+	}
+}
+
+// donate lets a reader goroutine be the loop for one cycle if no one
+// else currently is. Returns false if the loop was busy — the caller
+// must fall back to enqueueing its event.
+func (w *worker) donate(c *conn) bool {
+	if !w.loopMu.TryLock() {
+		return false
+	}
+	w.noteReady(c)
+	w.drainEvents()
+	w.process()
+	w.loopMu.Unlock()
+	return true
+}
+
+// drainEvents consumes every queued event without blocking.
+func (w *worker) drainEvents() {
+	for {
+		select {
+		case c := <-w.q:
+			w.noteReady(c)
+		case inj := <-w.injq:
+			w.unpark(inj)
+		default:
+			return
+		}
+	}
+}
+
+// noteReady ingests a readiness event: pull the conn's inbox into its
+// pending buffer and schedule it for this wakeup.
+func (w *worker) noteReady(c *conn) {
+	if c == nil || c.removed {
+		return // exit nudge, or a late reader event for a retired conn
+	}
+	if _, ok := w.conns[c]; !ok {
+		w.conns[c] = struct{}{} // first event doubles as registration
+	}
+	if c.take() {
+		c.eofSeen = true
+	}
+	if !c.inReady {
+		c.inReady = true
+		w.ready = append(w.ready, c)
+	}
+}
+
+// unpark handles a grant completion: the parked acquire's response goes
+// out first, then the conn rejoins the parse rotation so the frames
+// deferred behind it finally execute.
+func (w *worker) unpark(inj injection) {
+	c := inj.c
+	c.parked = false
+	if !c.dead {
+		resp := wire.Response{Status: statusOf(inj.err)}
+		c.wbuf, _ = wire.AppendResponseFrame(c.wbuf, &resp)
+		c.flushMark = true
+	}
+	w.noteReady(c)
+}
+
+// process services every ready conn: parse → execute → encode rounds
+// until no conn can make progress, then one flush per touched conn and
+// lifecycle cleanup.
+func (w *worker) process() {
+	for {
+		w.ops = w.ops[:0]
+		w.opConn = w.opConn[:0]
+		w.opEnd = w.opEnd[:0]
+		w.statsCs = w.statsCs[:0]
+		for _, c := range w.ready {
+			w.parseConn(c)
+		}
+		if len(w.ops) == 0 && len(w.statsCs) == 0 {
+			break
+		}
+		w.srv.m.ExecBatch(w.ops, w.sc)
+		w.encode()
+		for _, c := range w.statsCs {
+			w.answerStats(c)
+		}
+		for _, c := range w.ready {
+			c.compact()
+		}
+	}
+	for _, c := range w.ready {
+		w.flush(c)
+	}
+	for _, c := range w.ready {
+		c.inReady = false
+		w.cleanupIfDone(c)
+	}
+	w.ready = w.ready[:0]
+}
+
+// parseConn decodes complete frames from c's pending buffer into the
+// batch, stopping at a parked acquire, an OpStats frame (executed
+// between batches to keep per-connection order), the first malformed
+// frame (which condemns the stream), or the first incomplete frame.
+func (w *worker) parseConn(c *conn) {
+	var req wire.RawRequest
+	for !c.parked && !c.dead && !c.statsWant {
+		buf := c.pending[c.parsePos:]
+		if len(buf) < 4 {
+			return
+		}
+		n := int(binary.BigEndian.Uint32(buf))
+		if n == 0 || n > wire.MaxRequestPayload {
+			c.dead = true // flushed responses still go out; then the conn drops
+			return
+		}
+		if len(buf) < 4+n {
+			return
+		}
+		if err := wire.DecodeRequestRaw(buf[4:4+n], &req); err != nil {
+			c.dead = true
+			return
+		}
+		c.parsePos += 4 + n
+		if req.Op == wire.OpStats {
+			c.statsWant = true
+			w.statsCs = append(w.statsCs, c)
+			return
+		}
+		op := lockmgr.BatchOp{Tag: c.id, SID: req.SID, Excl: req.Excl,
+			Wait: req.Wait, Lease: req.Lease, Name: req.Name}
+		switch req.Op {
+		case wire.OpOpen:
+			op.Kind = lockmgr.BatchOpen
+		case wire.OpKeepAlive:
+			op.Kind = lockmgr.BatchKeepAlive
+		case wire.OpClose:
+			op.Kind = lockmgr.BatchCloseSession
+		case wire.OpAcquire:
+			op.Kind = lockmgr.BatchAcquire
+		case wire.OpRelease:
+			op.Kind = lockmgr.BatchRelease
+		}
+		w.ops = append(w.ops, op)
+		w.opConn = append(w.opConn, c)
+		w.opEnd = append(w.opEnd, c.parsePos)
+	}
+}
+
+// encode turns batch results into response frames in each conn's write
+// buffer. A would-block acquire parks here: its continuation goroutine
+// waits FIFO on the lock while the loop moves on, and the conn's parse
+// cursor rewinds so deferred frames re-execute after the grant.
+func (w *worker) encode() {
+	for i := range w.ops {
+		op := &w.ops[i]
+		c := w.opConn[i]
+		if c.dead || op.Err == lockmgr.ErrDeferred {
+			continue // deferred frames re-parse after the park resolves
+		}
+		if op.Err == lockmgr.ErrWouldBlock {
+			w.park(c, op, w.opEnd[i])
+			continue
+		}
+		resp := wire.Response{Status: statusOf(op.Err), SID: op.OutSID}
+		var err error
+		c.wbuf, err = wire.AppendResponseFrame(c.wbuf, &resp)
+		if err != nil {
+			c.dead = true
+			continue
+		}
+		c.flushMark = true
+	}
+}
+
+// park hands a blocking acquire to a continuation goroutine. The name
+// is copied out of the parse buffer (the one allocation a contended
+// acquire pays); Manager.Acquire waits in FIFO order on the lock's own
+// queue, bounded by the request's wait and the session lease, and the
+// completion is injected back into this worker's queue.
+func (w *worker) park(c *conn, op *lockmgr.BatchOp, endPos int) {
+	c.parked = true
+	c.parsePos = endPos // deferred frames stay buffered for re-parse
+	sid, name, excl, wait := op.SID, string(op.Name), op.Excl, time.Duration(op.Wait)
+	go func() {
+		err := w.srv.m.Acquire(sid, name, excl, wait)
+		select {
+		case w.injq <- injection{c: c, err: err}:
+		case <-w.dead:
+		}
+	}()
+}
+
+// answerStats executes one OpStats inline between batches.
+func (w *worker) answerStats(c *conn) {
+	c.statsWant = false
+	if c.dead {
+		return
+	}
+	payload := wire.GetBuffer()
+	defer payload.Free()
+	j, err := json.Marshal(w.srv.m.Stats())
+	resp := wire.Response{Status: wire.StatusOK}
+	if err != nil {
+		resp.Status = wire.StatusErr
+	} else {
+		payload.B = append(payload.B, j...)
+		resp.Payload = payload.B
+	}
+	c.wbuf, err = wire.AppendResponseFrame(c.wbuf, &resp)
+	if err != nil {
+		c.dead = true
+		return
+	}
+	c.flushMark = true
+}
+
+// flush writes a conn's coalesced responses in a single write.
+func (w *worker) flush(c *conn) {
+	if !c.flushMark || len(c.wbuf) == 0 {
+		c.flushMark = false
+		return
+	}
+	c.flushMark = false
+	// Arming a deadline is a runtime timer modify; at tens of thousands of
+	// flushes per second that is measurable. A deadline that is stale by up
+	// to half the timeout still bounds the write at 1–1.5x WriteTimeout,
+	// so re-arm coarsely instead of per write.
+	if now := time.Now(); now.Sub(c.wdlArmed) > w.srv.cfg.WriteTimeout/2 {
+		c.nc.SetWriteDeadline(now.Add(w.srv.cfg.WriteTimeout + w.srv.cfg.WriteTimeout/2))
+		c.wdlArmed = now
+	}
+	_, err := c.nc.Write(c.wbuf)
+	c.wbuf = c.wbuf[:0]
+	if err != nil {
+		c.dead = true
+	}
+}
+
+// cleanupIfDone retires a conn whose stream is finished: condemned
+// (malformed frame, write error) or cleanly drained (reader hit EOF and
+// no complete frame remains). A parked conn always waits for its
+// injection first so the continuation never posts to a forgotten conn.
+func (w *worker) cleanupIfDone(c *conn) {
+	if c.parked {
+		return
+	}
+	if c.dead || (c.eofSeen && !c.hasFrame()) {
+		w.drop(c)
+	}
+}
+
+// hasFrame reports whether a complete frame is buffered.
+func (c *conn) hasFrame() bool {
+	buf := c.pending[c.parsePos:]
+	if len(buf) < 4 {
+		return false
+	}
+	n := int(binary.BigEndian.Uint32(buf))
+	if n == 0 || n > wire.MaxRequestPayload {
+		return true // malformed counts as work: parse will condemn it
+	}
+	return len(buf) >= 4+n
+}
+
+// drop closes and forgets a conn.
+func (w *worker) drop(c *conn) {
+	if c.removed {
+		return
+	}
+	c.removed = true
+	c.dead = true
+	delete(w.conns, c)
+	c.nc.Close()
+	c.mu.Lock()
+	c.closed = true
+	c.cond.Broadcast() // free a reader stuck on a full inbox
+	c.mu.Unlock()
+	w.srv.removeConn(c)
+	if wb := c.wb; wb != nil {
+		wb.B = c.wbuf // return the grown backing array, not the original
+		c.wbuf = nil
+		c.wb = nil
+		wb.Free()
+	}
+	if w.draining && len(w.conns) == 0 {
+		// A donated cycle just retired the last conn: the dedicated
+		// goroutine is asleep with no event left to wake it, so nudge it
+		// into its exit check.
+		select {
+		case w.q <- nil:
+		default:
+		}
+	}
+}

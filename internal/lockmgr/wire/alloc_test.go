@@ -1,0 +1,147 @@
+package wire
+
+import (
+	"testing"
+)
+
+// TestEncodeDecodeSteadyStateAllocs pins the hot path at zero
+// allocations: the server's per-request cycle is DecodeRequestRaw into a
+// reused RawRequest, then AppendResponseFrame into a caller-owned
+// buffer. Any allocation here multiplies by every request the server
+// ever handles, so a regression is a test failure, not a benchmark
+// footnote.
+func TestEncodeDecodeSteadyStateAllocs(t *testing.T) {
+	reqFrame, err := AppendRequestFrame(nil, &Request{
+		Op: OpAcquire, SID: 42, Wait: -1, Excl: true, Name: "alloc-guard",
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	payload := reqFrame[4:]
+	var raw RawRequest
+	resp := Response{Status: StatusOK, SID: 42}
+	wbuf := make([]byte, 0, 256)
+
+	allocs := testing.AllocsPerRun(200, func() {
+		if err := DecodeRequestRaw(payload, &raw); err != nil {
+			t.Fatal(err)
+		}
+		var err error
+		wbuf, err = AppendResponseFrame(wbuf[:0], &resp)
+		if err != nil {
+			t.Fatal(err)
+		}
+	})
+	if allocs != 0 {
+		t.Fatalf("decode+encode steady state allocs = %.1f, want 0", allocs)
+	}
+}
+
+// TestBufferPoolReuse: GetBuffer hands back recycled backing arrays and
+// drops oversized ones instead of pinning them in the pool.
+func TestBufferPoolReuse(t *testing.T) {
+	b := GetBuffer()
+	if len(b.B) != 0 {
+		t.Fatalf("pooled buffer not reset: len %d", len(b.B))
+	}
+	b.B = append(b.B, make([]byte, MaxFrame+1)...)
+	b.Free() // oversized: must be dropped
+	c := GetBuffer()
+	if cap(c.B) > MaxFrame {
+		t.Fatalf("oversized buffer returned to pool: cap %d", cap(c.B))
+	}
+	c.Free()
+}
+
+// TestDecodeRequestRawMatchesDecodeRequest: the two decoders accept and
+// reject identical inputs and agree on every field.
+func TestDecodeRequestRawMatchesDecodeRequest(t *testing.T) {
+	cases := [][]byte{}
+	for _, req := range []Request{
+		{Op: OpOpen, Lease: 5e9},
+		{Op: OpAcquire, SID: 7, Wait: 3, Excl: true, Name: "k"},
+		{Op: OpStats},
+	} {
+		f, err := AppendRequestFrame(nil, &req)
+		if err != nil {
+			t.Fatal(err)
+		}
+		cases = append(cases, f[4:])
+	}
+	// Malformed: short, bad op, bad excl, bad name length.
+	cases = append(cases,
+		[]byte{1, 2, 3},
+		append([]byte{99}, make([]byte, RequestHeaderLen-1)...),
+		func() []byte {
+			f, _ := AppendRequestFrame(nil, &Request{Op: OpOpen})
+			p := f[4:]
+			p[25] = 2
+			return p
+		}(),
+		func() []byte {
+			f, _ := AppendRequestFrame(nil, &Request{Op: OpOpen})
+			p := f[4:]
+			p[27] = 9 // claims a name the payload does not carry
+			return p
+		}(),
+	)
+	for i, p := range cases {
+		want, wantErr := DecodeRequest(p)
+		var raw RawRequest
+		gotErr := DecodeRequestRaw(p, &raw)
+		if (wantErr == nil) != (gotErr == nil) {
+			t.Fatalf("case %d: DecodeRequest err %v, DecodeRequestRaw err %v", i, wantErr, gotErr)
+		}
+		if wantErr != nil {
+			continue
+		}
+		if raw.Op != want.Op || raw.SID != want.SID || raw.Lease != want.Lease ||
+			raw.Wait != want.Wait || raw.Excl != want.Excl || string(raw.Name) != want.Name {
+			t.Fatalf("case %d: raw %+v != %+v", i, raw, want)
+		}
+	}
+}
+
+// BenchmarkDecodeRequestRaw measures the zero-copy request decode.
+func BenchmarkDecodeRequestRaw(b *testing.B) {
+	f, _ := AppendRequestFrame(nil, &Request{
+		Op: OpAcquire, SID: 42, Wait: -1, Excl: true, Name: "bench-key",
+	})
+	p := f[4:]
+	var raw RawRequest
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if err := DecodeRequestRaw(p, &raw); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkDecodeRequest measures the allocating decode for contrast.
+func BenchmarkDecodeRequest(b *testing.B) {
+	f, _ := AppendRequestFrame(nil, &Request{
+		Op: OpAcquire, SID: 42, Wait: -1, Excl: true, Name: "bench-key",
+	})
+	p := f[4:]
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := DecodeRequest(p); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkAppendResponseFrame measures response encoding into a reused
+// buffer.
+func BenchmarkAppendResponseFrame(b *testing.B) {
+	resp := Response{Status: StatusOK, SID: 42}
+	buf := make([]byte, 0, 256)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		var err error
+		buf, err = AppendResponseFrame(buf[:0], &resp)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,39 @@
+package wire
+
+import "sync"
+
+// Buffer is a pooled byte slice for the encode hot path. Response
+// encoding appends to caller-owned buffers, so a long-lived connection
+// reaches zero allocations by itself; the pool extends that to
+// short-lived owners — per-connection write buffers on a server that
+// churns connections, and one-shot payloads (stats snapshots) — by
+// recycling the backing arrays instead of leaving them to the GC. Use B
+// directly (append semantics: reassign after growing); Free returns the
+// backing array to the pool.
+type Buffer struct {
+	B []byte
+}
+
+// bufPool recycles Buffers. New allocates with room for a typical
+// coalesced response burst so a freshly pooled buffer usually never
+// regrows.
+var bufPool = sync.Pool{
+	New: func() any { return &Buffer{B: make([]byte, 0, 4096)} },
+}
+
+// GetBuffer returns an empty pooled buffer.
+func GetBuffer() *Buffer {
+	b := bufPool.Get().(*Buffer)
+	b.B = b.B[:0]
+	return b
+}
+
+// Free recycles b. The caller must not touch b (or slices of b.B)
+// afterwards. Oversized one-off buffers are dropped rather than pinned
+// in the pool.
+func (b *Buffer) Free() {
+	if b == nil || cap(b.B) > MaxFrame {
+		return
+	}
+	bufPool.Put(b)
+}

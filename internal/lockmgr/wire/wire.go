@@ -30,9 +30,14 @@ import (
 
 // MaxFrame bounds a frame payload; ReadFrame rejects larger claims before
 // allocating. MaxName bounds lock names (mirrors lockmgr.MaxNameLen).
+// RequestHeaderLen is the fixed request-header size, so the largest
+// well-formed request payload is MaxRequestPayload — framing layers can
+// condemn a stream claiming more without waiting for the bytes.
 const (
-	MaxFrame = 1 << 16
-	MaxName  = 1024
+	MaxFrame          = 1 << 16
+	MaxName           = 1024
+	RequestHeaderLen  = 1 + 8 + 8 + 8 + 1 + 2
+	MaxRequestPayload = RequestHeaderLen + MaxName
 )
 
 // Op identifies a request.
@@ -84,7 +89,7 @@ var (
 )
 
 const (
-	reqHeader  = 1 + 8 + 8 + 8 + 1 + 2
+	reqHeader  = RequestHeaderLen
 	respHeader = 1 + 8 + 4
 )
 
@@ -140,6 +145,48 @@ func DecodeRequest(p []byte) (Request, error) {
 	req.Excl = p[25] == 1
 	req.Name = string(p[28:])
 	return req, nil
+}
+
+// RawRequest is Request with the name still aliasing the decode buffer.
+// The event-loop server decodes straight out of per-connection read
+// buffers and only materializes a string if an op actually parks, so
+// the request hot path performs no allocation at all.
+type RawRequest struct {
+	Op    Op
+	SID   uint64
+	Lease int64
+	Wait  int64
+	Excl  bool
+	Name  []byte // aliases the decode buffer; copy to retain
+}
+
+// DecodeRequestRaw parses one request payload without allocating.
+// Validation is identical to DecodeRequest; req.Name aliases p.
+func DecodeRequestRaw(p []byte, req *RawRequest) error {
+	if len(p) < reqHeader {
+		return fmt.Errorf("%w: request payload %d bytes, need %d", ErrMalformed, len(p), reqHeader)
+	}
+	op := Op(p[0])
+	if op < OpOpen || op > OpStats {
+		return fmt.Errorf("%w: unknown op %d", ErrMalformed, op)
+	}
+	if p[25] > 1 {
+		return fmt.Errorf("%w: excl byte %d", ErrMalformed, p[25])
+	}
+	nameLen := int(binary.BigEndian.Uint16(p[26:28]))
+	if nameLen > MaxName {
+		return fmt.Errorf("%w: name length %d > %d", ErrMalformed, nameLen, MaxName)
+	}
+	if len(p) != reqHeader+nameLen {
+		return fmt.Errorf("%w: payload %d bytes, header claims %d", ErrMalformed, len(p), reqHeader+nameLen)
+	}
+	req.Op = op
+	req.SID = binary.BigEndian.Uint64(p[1:9])
+	req.Lease = int64(binary.BigEndian.Uint64(p[9:17]))
+	req.Wait = int64(binary.BigEndian.Uint64(p[17:25]))
+	req.Excl = p[25] == 1
+	req.Name = p[28:]
+	return nil
 }
 
 // AppendResponseFrame appends resp's complete frame (length prefix
