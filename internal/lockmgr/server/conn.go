@@ -102,9 +102,15 @@ func (c *conn) readLoop() {
 }
 
 // take moves the inbox into the worker's pending buffer. Worker only.
+// While the conn is parked the transfer is skipped: pending must not
+// grow behind a blocking acquire (which can hold it for a full lease),
+// so the bytes stay in the inbox until it hits maxInbox and the reader
+// blocks — that is where the backpressure bound lives. queued is still
+// cleared so the reader re-enqueues on later reads and no wakeup is
+// lost; unpark's own noteReady drains whatever accumulated.
 func (c *conn) take() (eof bool) {
 	c.mu.Lock()
-	if len(c.inbox) > 0 {
+	if len(c.inbox) > 0 && !c.parked {
 		c.pending = append(c.pending, c.inbox...)
 		c.inbox = c.inbox[:0]
 		c.cond.Signal()

@@ -296,6 +296,14 @@ func (w *worker) answerStats(c *conn) {
 	if c.dead {
 		return
 	}
+	if c.parked {
+		// An acquire earlier in this round's batch parked after the stats
+		// frame was already consumed; park() rewound the parse cursor to
+		// before this frame. Answering now would jump ahead of the parked
+		// acquire's response and then answer again on re-parse after the
+		// grant. Drop the want; the rewound cursor restores order.
+		return
+	}
 	payload := wire.GetBuffer()
 	defer payload.Free()
 	j, err := json.Marshal(w.srv.m.Stats())
@@ -315,6 +323,14 @@ func (w *worker) answerStats(c *conn) {
 }
 
 // flush writes a conn's coalesced responses in a single write.
+//
+// The write happens under loopMu, so a client that stops reading can
+// stall every connection this worker owns for up to ~1.5x WriteTimeout
+// per write. That is a deliberate tradeoff: response bursts are small
+// (tens of KB) and loopback/LAN sockets absorb them without blocking,
+// so the common case stays a single in-loop syscall with no writer
+// goroutine or handoff; the deadline below bounds the damage a stuck
+// peer can do, and the write error condemns it so it pays at most once.
 func (w *worker) flush(c *conn) {
 	if !c.flushMark || len(c.wbuf) == 0 {
 		c.flushMark = false
