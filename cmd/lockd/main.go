@@ -8,7 +8,18 @@
 // sessions are revoked, and -metrics dumps the run's counters and wait
 // percentiles as JSON.
 //
-//	lockd -addr 127.0.0.1:7600 -metrics metrics.json
+// With -admin the daemon is observable while it runs: the admin HTTP
+// listener serves live metrics as Prometheus text (/metrics) and JSON
+// (/metrics.json), the per-lock contention table (/hotlocks), the
+// grant-path flight recorder (/flight), and net/http/pprof
+// (/debug/pprof/). SIGUSR1 dumps metrics on demand, SIGQUIT dumps the
+// flight recorder to stderr, -metrics-interval flushes the metrics file
+// periodically so a crashed daemon still leaves recent numbers behind,
+// and -slowlock logs every pathologically slow acquire as a structured
+// one-liner.
+//
+//	lockd -addr 127.0.0.1:7600 -admin 127.0.0.1:7601 \
+//	      -metrics metrics.json -metrics-interval 10s -slowlock 100ms
 package main
 
 import (
@@ -17,18 +28,63 @@ import (
 	"fmt"
 	"log"
 	"net"
+	"net/http"
 	"os"
 	"os/signal"
+	"runtime"
+	"runtime/debug"
+	"strings"
+	"sync"
 	"syscall"
 	"time"
 
 	"fairrw/internal/lockmgr"
+	"fairrw/internal/lockmgr/introspect"
 	"fairrw/internal/lockmgr/server"
 )
+
+// buildInfo assembles the binary's identity: module version (plus VCS
+// revision when the toolchain stamped one) and the Go version. This is
+// what makes a metrics payload or bench row attributable to a build.
+func buildInfo() server.BuildInfo {
+	bi := server.BuildInfo{Version: "unknown", GoVersion: runtime.Version()}
+	info, ok := debug.ReadBuildInfo()
+	if !ok {
+		return bi
+	}
+	bi.Version = info.Main.Version
+	var rev string
+	dirty := false
+	for _, s := range info.Settings {
+		switch s.Key {
+		case "vcs.revision":
+			rev = s.Value
+		case "vcs.modified":
+			dirty = s.Value == "true"
+		}
+	}
+	if rev != "" {
+		if len(rev) > 12 {
+			rev = rev[:12]
+		}
+		// Newer toolchains already fold the revision into a VCS-derived
+		// pseudo-version; only append when it adds information.
+		if !strings.Contains(bi.Version, rev) {
+			if dirty {
+				rev += "-dirty"
+			}
+			bi.Version += "+" + rev
+		} else if dirty && !strings.Contains(bi.Version, "dirty") {
+			bi.Version += "+dirty"
+		}
+	}
+	return bi
+}
 
 func main() {
 	var (
 		addr         = flag.String("addr", "127.0.0.1:7600", "TCP listen address")
+		adminAddr    = flag.String("admin", "", "admin HTTP listen address (Prometheus /metrics, /metrics.json, /hotlocks, /flight, /debug/pprof); empty = disabled")
 		shards       = flag.Int("shards", 32, "lock-table shards (rounded up to a power of two)")
 		sweep        = flag.Duration("sweep", 10*time.Millisecond, "lease reaper / entry GC period")
 		defaultLease = flag.Duration("default-lease", 10*time.Second, "lease for sessions that open without one")
@@ -36,13 +92,42 @@ func main() {
 		idle         = flag.Duration("idle", 2*time.Second, "idle time before an unused lock entry is collected")
 		grace        = flag.Duration("grace", 5*time.Second, "drain grace period on shutdown")
 		workers      = flag.Int("workers", 0, "event-loop workers (0 = GOMAXPROCS)")
-		metricsPath  = flag.String("metrics", "", "write metrics JSON here on shutdown (\"-\" = stdout)")
+		metricsPath  = flag.String("metrics", "", "write metrics JSON here on shutdown, SIGUSR1, and every -metrics-interval (\"-\" = stdout, shutdown only)")
+		metricsIvl   = flag.Duration("metrics-interval", 0, "periodic metrics flush period (0 = shutdown/SIGUSR1 only)")
+		slowlock     = flag.Duration("slowlock", 0, "log acquires whose queue wait reaches this threshold (0 = off)")
+		flightN      = flag.Int("flight-events", 256, "flight-recorder ring size per worker (0 = recorder off)")
+		hotK         = flag.Int("hotlocks", 20, "hot-lock table depth in metrics payloads")
+		showVersion  = flag.Bool("version", false, "print build info and exit")
 	)
 	flag.Parse()
+
+	bi := buildInfo()
+	if *showVersion {
+		fmt.Printf("lockd %s %s\n", bi.Version, bi.GoVersion)
+		return
+	}
 
 	ln, err := net.Listen("tcp", *addr)
 	if err != nil {
 		log.Fatalf("lockd: listen: %v", err)
+	}
+
+	var rec *introspect.Recorder
+	if *flightN > 0 {
+		// One ring per event-loop worker (the server keys by worker
+		// index); the manager's grant/expiry events hash across the same
+		// rings.
+		nw := *workers
+		if nw <= 0 {
+			nw = runtime.GOMAXPROCS(0)
+		}
+		rec = introspect.NewRecorder(nw, *flightN)
+	}
+	slowFn := func(name string, sid uint64, excl bool, wait time.Duration) {
+		log.Printf("lockd: slowlock lock=%q sid=%d excl=%v wait=%v", name, sid, excl, wait)
+	}
+	if *slowlock <= 0 {
+		slowFn = nil
 	}
 	mgr := lockmgr.New(lockmgr.Config{
 		Shards:        *shards,
@@ -50,36 +135,121 @@ func main() {
 		DefaultLease:  *defaultLease,
 		MaxLease:      *maxLease,
 		IdleTTL:       *idle,
+		Recorder:      rec,
+		SlowLock:      *slowlock,
+		SlowLockFn:    slowFn,
 	})
-	srv := server.NewWithConfig(mgr, server.Config{Workers: *workers})
+	srv := server.NewWithConfig(mgr, server.Config{Workers: *workers, Recorder: rec})
+
+	// writeMetrics serializes the full admin payload to the -metrics
+	// path. Shutdown, SIGUSR1, and the periodic flusher all funnel
+	// through here, serialized so a signal cannot interleave with a
+	// ticker write.
+	var metricsMu sync.Mutex
+	writeMetrics := func(reason string) {
+		if *metricsPath == "" {
+			return
+		}
+		metricsMu.Lock()
+		defer metricsMu.Unlock()
+		out, err := json.MarshalIndent(srv.Metrics(bi, *hotK), "", " ")
+		if err != nil {
+			log.Printf("lockd: marshal metrics (%s): %v", reason, err)
+			return
+		}
+		out = append(out, '\n')
+		if *metricsPath == "-" {
+			fmt.Print(string(out))
+			return
+		}
+		// Write-then-rename so a crash mid-flush never truncates the
+		// previous dump — the whole point of periodic flushing is that
+		// the file survives an unclean death.
+		tmp := *metricsPath + ".tmp"
+		if err := os.WriteFile(tmp, out, 0o644); err != nil {
+			log.Printf("lockd: write metrics (%s): %v", reason, err)
+			return
+		}
+		if err := os.Rename(tmp, *metricsPath); err != nil {
+			log.Printf("lockd: write metrics (%s): %v", reason, err)
+		}
+	}
+
+	var adminSrv *http.Server
+	if *adminAddr != "" {
+		aln, err := net.Listen("tcp", *adminAddr)
+		if err != nil {
+			log.Fatalf("lockd: admin listen: %v", err)
+		}
+		adminSrv = &http.Server{Handler: srv.AdminHandler(bi)}
+		go func() {
+			if err := adminSrv.Serve(aln); err != nil && err != http.ErrServerClosed {
+				log.Printf("lockd: admin serve: %v", err)
+			}
+		}()
+		log.Printf("lockd: admin plane on http://%s (/metrics /metrics.json /hotlocks /flight /debug/pprof)", aln.Addr())
+	}
+
+	stopFlush := make(chan struct{})
+	if *metricsIvl > 0 && *metricsPath != "" && *metricsPath != "-" {
+		go func() {
+			t := time.NewTicker(*metricsIvl)
+			defer t.Stop()
+			for {
+				select {
+				case <-t.C:
+					writeMetrics("interval")
+				case <-stopFlush:
+					return
+				}
+			}
+		}()
+	}
 
 	sig := make(chan os.Signal, 1)
 	signal.Notify(sig, syscall.SIGINT, syscall.SIGTERM)
+	dump := make(chan os.Signal, 1)
+	signal.Notify(dump, syscall.SIGUSR1, syscall.SIGQUIT)
+	go func() {
+		for s := range dump {
+			switch s {
+			case syscall.SIGUSR1:
+				log.Printf("lockd: SIGUSR1: dumping metrics")
+				if *metricsPath != "" && *metricsPath != "-" {
+					writeMetrics("SIGUSR1")
+				} else {
+					out, _ := json.MarshalIndent(srv.Metrics(bi, *hotK), "", " ")
+					fmt.Fprintf(os.Stderr, "%s\n", out)
+				}
+			case syscall.SIGQUIT:
+				log.Printf("lockd: SIGQUIT: flight recorder dump")
+				if rec != nil {
+					rec.Dump(os.Stderr)
+				} else {
+					fmt.Fprintln(os.Stderr, "(flight recorder disabled)")
+				}
+			}
+		}
+	}()
 	go func() {
 		s := <-sig
 		log.Printf("lockd: %v: draining (grace %v)", s, *grace)
 		srv.Shutdown(*grace)
 	}()
 
-	log.Printf("lockd: serving on %s (%d shards, sweep %v, %d workers)",
-		ln.Addr(), *shards, *sweep, srv.Workers())
+	log.Printf("lockd: %s %s serving on %s (%d shards, sweep %v, %d workers)",
+		bi.Version, bi.GoVersion, ln.Addr(), *shards, *sweep, srv.Workers())
 	if err := srv.Serve(ln); err != nil {
 		log.Fatalf("lockd: serve: %v", err)
 	}
+	close(stopFlush)
+	if adminSrv != nil {
+		adminSrv.Close()
+	}
 
 	snap := mgr.Stats()
-	log.Printf("lockd: drained: %d shared + %d excl grants, %d lease expirations, %d revoked holds, wait p50 %.1fus p99 %.1fus",
-		snap.SharedGrants, snap.ExclGrants, snap.LeaseExpirations, snap.RevokedHolds, snap.WaitP50US, snap.WaitP99US)
-	if *metricsPath != "" {
-		out, err := json.MarshalIndent(snap, "", " ")
-		if err != nil {
-			log.Fatalf("lockd: marshal metrics: %v", err)
-		}
-		out = append(out, '\n')
-		if *metricsPath == "-" {
-			fmt.Print(string(out))
-		} else if err := os.WriteFile(*metricsPath, out, 0o644); err != nil {
-			log.Fatalf("lockd: write metrics: %v", err)
-		}
-	}
+	log.Printf("lockd: drained: %d shared + %d excl grants, %d lease expirations, %d revoked holds, wait p50 %.1fus p99 %.1fus, hold p50 %.1fus",
+		snap.SharedGrants, snap.ExclGrants, snap.LeaseExpirations, snap.RevokedHolds,
+		snap.WaitP50US, snap.WaitP99US, snap.HoldP50US)
+	writeMetrics("shutdown")
 }

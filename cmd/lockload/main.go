@@ -17,17 +17,25 @@
 // run per rate point.
 //
 // One transaction is an acquire+release pair (two wire ops) on a key
-// drawn uniformly from -keys, shared with probability -readpct.
+// drawn from -keys — uniformly by default, or Zipfian with -zipf s
+// (s > 1; key 0 hottest), which is what makes lockd's hot-lock table
+// light up with the generator's actual skew.
 //
 //	lockload -conns 8 -duration 5s -readpct 90            # closed loop
 //	lockload -depth 4 -json                               # pipelined, JSON out
 //	lockload -open -ratesweep 5000,10000,20000,40000      # latency curve
+//	lockload -zipf 1.3 -prom client.prom                  # skewed keys, prom out
 //	lockload -check BENCH_lockd.json                      # validate bench doc
 //
 // -warmup excludes a leading window from every statistic (histograms
 // reset when it closes). -json emits machine-readable results for
 // assembling BENCH_lockd.json; -check validates such a document and is
-// wired into CI so the committed numbers always parse.
+// wired into CI so the committed numbers always parse. -prom writes the
+// client-observed latency histograms in the same Prometheus text schema
+// lockd's admin plane exports (lockload_latency_seconds vs
+// lockd_wait_seconds), so client- and server-attributed time can be
+// diffed in one report: the gap is the wire, the batching, and the
+// event loop.
 package main
 
 import (
@@ -109,9 +117,20 @@ type runCfg struct {
 	depth    int
 	rate     float64 // open loop only; transactions/s across all conns
 	open     bool
+	zipf     float64 // key-skew exponent; 0 = uniform
 	wait     time.Duration
 	lease    time.Duration
 	hold     time.Duration
+}
+
+// picker draws key indexes: uniform, or Zipfian when -zipf is set (key
+// 0 is the hottest — the skew lockd's hot-lock table should surface).
+func (cfg *runCfg) picker(rng *rand.Rand, n int) func() int {
+	if cfg.zipf > 1 {
+		z := rand.NewZipf(rng, cfg.zipf, 1, uint64(n-1))
+		return func() int { return int(z.Uint64()) }
+	}
+	return func() int { return rng.Intn(n) }
 }
 
 func main() {
@@ -125,6 +144,8 @@ func main() {
 		depth     = flag.Int("depth", 1, "closed loop: transactions pipelined per flush")
 		open      = flag.Bool("open", false, "open-loop mode: Poisson arrivals, latency from scheduled arrival")
 		rate      = flag.Float64("rate", 10000, "open loop: target transactions/s across all connections")
+		zipf      = flag.Float64("zipf", 0, "Zipfian key skew exponent (> 1; 0 = uniform keys)")
+		promPath  = flag.String("prom", "", "write client-side latency histograms in Prometheus text format here (\"-\" = stdout)")
 		wait      = flag.Duration("wait", time.Second, "acquire wait bound (FIFO timed acquire)")
 		lease     = flag.Duration("lease", 10*time.Second, "session lease")
 		hold      = flag.Duration("hold", 0, "closed loop, depth 1: critical-section hold time")
@@ -147,10 +168,13 @@ func main() {
 	cfg := runCfg{
 		addr: *addr, conns: *conns, duration: *duration, warmup: *warmup,
 		readPct: *readPct, keys: *keys, depth: *depth, rate: *rate,
-		open: *open, wait: *wait, lease: *lease, hold: *hold,
+		open: *open, zipf: *zipf, wait: *wait, lease: *lease, hold: *hold,
 	}
 	if cfg.depth < 1 {
 		log.Fatal("lockload: -depth must be >= 1")
+	}
+	if cfg.zipf != 0 && cfg.zipf <= 1 {
+		log.Fatal("lockload: -zipf must be > 1 (or 0 for uniform)")
 	}
 
 	type runSpec struct {
@@ -189,12 +213,14 @@ func main() {
 			"read%", "rate", "pairs", "ops/s", "p50(us)", "p95(us)", "p99(us)", "p999(us)", "timeouts", "errors")
 	}
 	var results []point
+	var hists []stats.Histogram
 	var failed bool
 	for _, spec := range specs {
 		c := cfg
 		c.readPct, c.rate = spec.readPct, spec.rate
-		p := run(c)
+		p, lat := run(c)
 		results = append(results, p)
+		hists = append(hists, lat)
 		if p.Errors > 0 {
 			failed = true
 		}
@@ -209,6 +235,11 @@ func main() {
 		}
 	}
 
+	if *promPath != "" {
+		if err := writeProm(*promPath, results, hists); err != nil {
+			log.Fatalf("lockload: write prom: %v", err)
+		}
+	}
 	if *jsonOut {
 		enc := json.NewEncoder(os.Stdout)
 		enc.SetIndent("", "  ")
@@ -274,8 +305,39 @@ func checkBenchDoc(path string) error {
 	return nil
 }
 
+// writeProm renders each run's client-observed latency histogram in the
+// Prometheus text schema lockd's admin plane uses, one label set per
+// run. Diffing lockload_latency_seconds against the server's
+// lockd_wait_seconds attributes a transaction's time: what the server
+// never saw (wire + batching + event loop) is the difference.
+func writeProm(path string, results []point, hists []stats.Histogram) error {
+	var buf strings.Builder
+	fmt.Fprintf(&buf, "# TYPE lockload_latency_seconds histogram\n")
+	for i := range results {
+		p := &results[i]
+		labels := fmt.Sprintf(`mode=%q,read_pct="%d",conns="%d",depth="%d",rate="%g"`,
+			p.Mode, p.ReadPct, p.Conns, p.Depth, p.Rate)
+		hists[i].WritePromSeries(&buf, "lockload_latency_seconds", labels, 1e-9)
+	}
+	fmt.Fprintf(&buf, "# TYPE lockload_pairs_total counter\n")
+	for i := range results {
+		p := &results[i]
+		labels := fmt.Sprintf(`mode=%q,read_pct="%d",conns="%d",depth="%d",rate="%g"`,
+			p.Mode, p.ReadPct, p.Conns, p.Depth, p.Rate)
+		fmt.Fprintf(&buf, "lockload_pairs_total{%s} %d\n", labels, p.Pairs)
+		fmt.Fprintf(&buf, "lockload_timeouts_total{%s} %d\n", labels, p.Timeouts)
+	}
+	if path == "-" {
+		_, err := os.Stdout.WriteString(buf.String())
+		return err
+	}
+	return os.WriteFile(path, []byte(buf.String()), 0o644)
+}
+
 // run drives one measurement window and folds the workers' tallies.
-func run(cfg runCfg) point {
+// The returned histogram is the merged transaction-latency distribution
+// (ns), kept whole for -prom output.
+func run(cfg runCfg) (point, stats.Histogram) {
 	var stop atomic.Bool
 	var gen atomic.Uint32 // bumped when the warmup window closes
 	workers := make([]worker, cfg.conns)
@@ -327,7 +389,7 @@ func run(cfg runCfg) point {
 	} else {
 		p.Mode, p.Depth = "closed", cfg.depth
 	}
-	return p
+	return p, total.lat
 }
 
 // dialWorker opens one connection+session; errors count, not crash.
@@ -361,11 +423,11 @@ func runClosed(cfg runCfg, w int, names []string, res *worker, stop *atomic.Bool
 	defer c.Close()
 	defer c.CloseSession(sid)
 	rng := rand.New(rand.NewSource(int64(w) + 1))
+	pick := cfg.picker(rng, len(names))
 	var lastGen uint32
 	var errs []error
 
 	if cfg.depth > 1 {
-		keysN := len(names)
 		type slot struct {
 			key  string
 			excl bool
@@ -377,7 +439,7 @@ func runClosed(cfg runCfg, w int, names []string, res *worker, stop *atomic.Bool
 				res.reset()
 			}
 			for i := range slots {
-				slots[i] = slot{names[rng.Intn(keysN)], rng.Intn(100) >= cfg.readPct}
+				slots[i] = slot{names[pick()], rng.Intn(100) >= cfg.readPct}
 			}
 			t0 := time.Now()
 			for _, s := range slots {
@@ -430,7 +492,7 @@ func runClosed(cfg runCfg, w int, names []string, res *worker, stop *atomic.Bool
 			lastGen = g
 			res.reset()
 		}
-		key := names[rng.Intn(len(names))]
+		key := names[pick()]
 		excl := rng.Intn(100) >= cfg.readPct
 		sampled := seq&(latSample-1) == 0
 		seq++
@@ -495,6 +557,7 @@ func runOpen(cfg runCfg, w int, names []string, res *worker, stop *atomic.Bool, 
 	defer c.Close()
 	defer c.CloseSession(sid)
 	rng := rand.New(rand.NewSource(int64(w) + 1))
+	pick := cfg.picker(rng, len(names))
 	lambda := cfg.rate / float64(cfg.conns) // this worker's arrivals/s
 	var lastGen uint32
 	var errs []error
@@ -509,7 +572,7 @@ func runOpen(cfg runCfg, w int, names []string, res *worker, stop *atomic.Bool, 
 		if d := time.Until(next); d > 0 {
 			time.Sleep(d)
 		}
-		key := names[rng.Intn(len(names))]
+		key := names[pick()]
 		excl := rng.Intn(100) >= cfg.readPct
 		c.QueueAcquire(sid, key, excl, cfg.wait)
 		c.QueueRelease(sid, key, excl)

@@ -72,6 +72,7 @@ type BatchScratch struct {
 	derefs   [][]int32 // per-shard op indexes (unref phase)
 	touched  []int32   // shards with pending work this batch
 	blocked  []int32   // tags with a parked acquire this batch
+	holdNS   []int64   // hold times observed this batch (phase-5 flush)
 }
 
 // NewBatchScratch allocates scratch sized to this manager's shard count.
@@ -90,6 +91,7 @@ func (sc *BatchScratch) reset() {
 	}
 	sc.touched = sc.touched[:0]
 	sc.blocked = sc.blocked[:0]
+	sc.holdNS = sc.holdNS[:0]
 }
 
 func (sc *BatchScratch) touch(si int32) {
@@ -165,6 +167,7 @@ func (m *Manager) ExecBatch(ops []BatchOp, sc *BatchScratch) {
 				m.c.entriesCreated.Add(1)
 			}
 			e.refs++
+			e.acquires++ // contention profile: only acquires are refed here
 			op.e = e
 		}
 		sh.mu.Unlock()
@@ -222,7 +225,7 @@ func (m *Manager) ExecBatch(ops []BatchOp, sc *BatchScratch) {
 				op.Err = ErrName
 				continue
 			}
-			op.Err = m.releaseOp(int32(i), op, sc)
+			op.Err = m.releaseOp(int32(i), op, sc, now)
 			if op.Err == nil {
 				releases++
 			}
@@ -264,6 +267,9 @@ func (m *Manager) ExecBatch(ops []BatchOp, sc *BatchScratch) {
 	}
 	if zeroWaits > 0 {
 		m.observeZeroWaits(zeroWaits)
+	}
+	if len(sc.holdNS) > 0 {
+		m.observeHolds(sc.holdNS)
 	}
 }
 
@@ -326,13 +332,15 @@ func (m *Manager) tryAcquireOp(op *BatchOp, now time.Time) (bool, error) {
 	} else {
 		h.shared++
 	}
+	h.grantNS = now.UnixNano()
 	s.mu.Unlock()
 	return true, nil
 }
 
 // releaseOp is the batch release; the entry unref is deferred to the
-// phase-4 shard pass via op.e.
-func (m *Manager) releaseOp(i int32, op *BatchOp, sc *BatchScratch) error {
+// phase-4 shard pass via op.e, the hold-time sample to the phase-5
+// histogram flush via sc.holdNS.
+func (m *Manager) releaseOp(i int32, op *BatchOp, sc *BatchScratch, now time.Time) error {
 	s := op.s
 	if s == nil {
 		return ErrExpired
@@ -353,6 +361,7 @@ func (m *Manager) releaseOp(i int32, op *BatchOp, sc *BatchScratch) error {
 	} else {
 		h.shared--
 	}
+	sc.holdNS = append(sc.holdNS, now.UnixNano()-h.grantNS)
 	if !h.excl && h.shared == 0 {
 		delete(s.holds, e.name)
 		s.free = h

@@ -1,0 +1,62 @@
+package lockmgr
+
+import "sort"
+
+// LockProfile is one row of the hot-lock table: the per-lock contention
+// profile maintained on the lock's table entry and merged across shards
+// on scrape. Acquires counts acquire arrivals (the entry-ref count, so a
+// parked acquire that retries off the batch path is counted per
+// arrival); the wait columns cover contended grants only — uncontended
+// try-path grants have zero queue wait by definition.
+type LockProfile struct {
+	Name        string  `json:"name"`
+	Acquires    uint64  `json:"acquires"`
+	WaitTotalUS float64 `json:"wait_total_us"`
+	WaitMaxUS   float64 `json:"wait_max_us"`
+	QueueLen    int     `json:"queue_len"`
+}
+
+// HotLocks returns the top-k locks by attributed wait time (acquire
+// arrivals break ties), most contended first. It walks the live entry
+// table one shard lock at a time — bounded work and memory, since the
+// table is GC'd to the working set by the sweeper — so it is safe to
+// call on a scrape path while the server is under load. A lock idle
+// past IdleTTL has been collected and no longer appears: the table
+// profiles live traffic, not history.
+func (m *Manager) HotLocks(k int) []LockProfile {
+	if k <= 0 {
+		return nil
+	}
+	var all []LockProfile
+	for i := range m.shards {
+		sh := &m.shards[i]
+		sh.mu.Lock()
+		for _, e := range sh.entries {
+			if e.acquires == 0 {
+				continue
+			}
+			all = append(all, LockProfile{
+				Name:        e.name,
+				Acquires:    e.acquires,
+				WaitTotalUS: float64(e.waitNS.Load()) / 1e3,
+				WaitMaxUS:   float64(e.maxWaitNS.Load()) / 1e3,
+				QueueLen:    e.lock.QueueLen(),
+			})
+		}
+		sh.mu.Unlock()
+	}
+	sort.Slice(all, func(i, j int) bool {
+		a, b := &all[i], &all[j]
+		if a.WaitTotalUS != b.WaitTotalUS {
+			return a.WaitTotalUS > b.WaitTotalUS
+		}
+		if a.Acquires != b.Acquires {
+			return a.Acquires > b.Acquires
+		}
+		return a.Name < b.Name
+	})
+	if len(all) > k {
+		all = all[:k]
+	}
+	return all
+}

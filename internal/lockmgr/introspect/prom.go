@@ -1,0 +1,61 @@
+package introspect
+
+import (
+	"fmt"
+	"io"
+	"strings"
+)
+
+// PromWriter renders counters and gauges in the Prometheus text
+// exposition format (version 0.0.4). It tracks which metric names have
+// had their # TYPE line emitted so labelled series of the same family
+// (per-worker counters, per-lock gauges) declare the type exactly once,
+// which is what scrapers require. Histograms are rendered by
+// stats.Histogram.WriteProm; this type covers everything else.
+type PromWriter struct {
+	W     io.Writer
+	typed map[string]struct{}
+}
+
+func (p *PromWriter) header(name, typ string) {
+	if p.typed == nil {
+		p.typed = make(map[string]struct{})
+	}
+	if _, ok := p.typed[name]; ok {
+		return
+	}
+	p.typed[name] = struct{}{}
+	fmt.Fprintf(p.W, "# TYPE %s %s\n", name, typ)
+}
+
+// Counter emits one counter sample. labels is the brace-free label list
+// (`worker="3"`), empty for an unlabelled series.
+func (p *PromWriter) Counter(name, labels string, v uint64) {
+	p.header(name, "counter")
+	if labels == "" {
+		fmt.Fprintf(p.W, "%s %d\n", name, v)
+	} else {
+		fmt.Fprintf(p.W, "%s{%s} %d\n", name, labels, v)
+	}
+}
+
+// Gauge emits one gauge sample.
+func (p *PromWriter) Gauge(name, labels string, v float64) {
+	p.header(name, "gauge")
+	if labels == "" {
+		fmt.Fprintf(p.W, "%s %g\n", name, v)
+	} else {
+		fmt.Fprintf(p.W, "%s{%s} %g\n", name, labels, v)
+	}
+}
+
+// EscapeLabel escapes a label value per the exposition format: backslash,
+// double quote, and newline. Lock names are caller-controlled bytes, so
+// the hot-lock table must escape them before they land in a label.
+func EscapeLabel(v string) string {
+	if !strings.ContainsAny(v, "\\\"\n") {
+		return v
+	}
+	r := strings.NewReplacer(`\`, `\\`, `"`, `\"`, "\n", `\n`)
+	return r.Replace(v)
+}

@@ -30,6 +30,7 @@ import (
 	"time"
 
 	"fairrw/fairlock"
+	"fairrw/internal/lockmgr/introspect"
 	"fairrw/internal/stats"
 )
 
@@ -66,6 +67,21 @@ type Config struct {
 	// IdleTTL is how long an entry with no holders and no waiters
 	// survives before the sweeper deletes it. Default 1s.
 	IdleTTL time.Duration
+	// Recorder, when non-nil, receives grant-path flight events: the
+	// resolution of every contended acquire (grant, timeout, lease
+	// revocation, with measured wait) and session lease expirations.
+	// Uncontended try-path grants are not recorded — they carry no
+	// queue wait, which is the quantity the flight recorder attributes
+	// — so the manager fast path pays only a nil check.
+	Recorder *introspect.Recorder
+	// SlowLock is the slow-acquire threshold: a grant whose queue wait
+	// reaches it is reported to SlowLockFn (and recorded as EvSlow).
+	// Zero disables; only contended acquires ever check it.
+	SlowLock time.Duration
+	// SlowLockFn receives slow acquires (cmd/lockd logs them as
+	// structured one-liners). Called from the granted acquirer's
+	// goroutine; must not block.
+	SlowLockFn func(name string, sid uint64, excl bool, wait time.Duration)
 }
 
 func (c Config) withDefaults() Config {
@@ -98,6 +114,18 @@ type entry struct {
 	lock   fairlock.RWMutex
 	refs   int
 	idleAt time.Time
+
+	// Contention profile (Manager.HotLocks). acquires counts acquire
+	// arrivals and is incremented at ref time, under the shard mutex the
+	// ref already holds — the profile's hot-path cost on the uncontended
+	// grant path is literally one increment on an already-owned line.
+	// The wait fields are touched only by contended acquires (which are
+	// already paying for timers and queueing), so they are atomics. The
+	// table's memory is the live entry table's: a profile lives exactly
+	// as long as its lock entry and is GC'd with it.
+	acquires  uint64
+	waitNS    atomic.Int64
+	maxWaitNS atomic.Int64
 }
 
 // shard is one stripe of the lock table, padded so that neighbouring
@@ -113,9 +141,10 @@ type shard struct {
 // one-element free list, so the steady acquire/release cycle does not
 // allocate.
 type hold struct {
-	e      *entry
-	shared int
-	excl   bool
+	e       *entry
+	shared  int
+	excl    bool
+	grantNS int64 // UnixNano of the most recent grant, for hold-time stats
 }
 
 // Session is one client's registration: a lease deadline, a revocation
@@ -151,6 +180,8 @@ type Manager struct {
 	c      counters
 	waitMu sync.Mutex
 	wait   stats.Histogram // grant wait, nanoseconds
+	holdMu sync.Mutex
+	holdH  stats.Histogram // hold time (grant to release), nanoseconds
 }
 
 // New creates a Manager and starts its lease reaper / entry sweeper.
@@ -200,10 +231,12 @@ func fnv32(s string) uint32 {
 	return h
 }
 
-// ref returns name's entry, creating it on demand, with one reference
-// taken for the caller.
-func (m *Manager) ref(name string) *entry {
-	sh := &m.shards[fnv32(name)&m.mask]
+// ref returns name's entry (h32 is fnv32(name), computed once by the
+// caller), creating it on demand, with one reference taken for the
+// caller. Acquire refs are also acquire arrivals, so the contention
+// profile counts here, under the shard mutex already held.
+func (m *Manager) ref(name string, h32 uint32, acquire bool) *entry {
+	sh := &m.shards[h32&m.mask]
 	sh.mu.Lock()
 	e := sh.entries[name]
 	if e == nil {
@@ -212,6 +245,9 @@ func (m *Manager) ref(name string) *entry {
 		m.c.entriesCreated.Add(1)
 	}
 	e.refs++
+	if acquire {
+		e.acquires++
+	}
 	sh.mu.Unlock()
 	return e
 }
@@ -348,6 +384,8 @@ func (m *Manager) expireSession(s *Session, expired bool) {
 	m.smu.Unlock()
 	if expired {
 		m.c.expirations.Add(1)
+		m.cfg.Recorder.Record(uint32(s.id), introspect.Event{
+			Kind: introspect.EvExpire, SID: s.id, Wait: int64(len(holds))})
 	} else {
 		m.c.sessionsClosed.Add(1)
 	}
@@ -392,7 +430,8 @@ func (m *Manager) Acquire(sid uint64, name string, excl bool, wait time.Duration
 	}
 	s.mu.Unlock()
 
-	e := m.ref(name)
+	h32 := fnv32(name)
+	e := m.ref(name, h32, true)
 	m.c.waiting.Add(1)
 	// Every acquire probes the lock-free try path first; uncontended
 	// grants record a zero wait without touching the clock again, and only
@@ -405,6 +444,7 @@ func (m *Manager) Acquire(sid uint64, name string, excl bool, wait time.Duration
 		ok = e.lock.TryRLock()
 	}
 	waited := time.Duration(0)
+	grantNS := now.UnixNano()
 	if !ok && wait != 0 {
 		t0 := time.Now()
 		if wait > 0 {
@@ -424,18 +464,39 @@ func (m *Manager) Acquire(sid uint64, name string, excl bool, wait time.Duration
 			}
 		}
 		waited = time.Since(t0)
+		grantNS = t0.Add(waited).UnixNano()
 	}
 	m.c.waiting.Add(-1)
 	if !ok {
 		m.deref(e, time.Now())
 		if wait < 0 {
 			// Only revocation cancels an unbounded wait.
+			m.cfg.Recorder.Record(h32, introspect.Event{
+				Kind: introspect.EvRevoke, SID: sid, Hash: h32, Wait: int64(waited)})
 			return ErrExpired
 		}
 		m.c.timeouts.Add(1)
+		m.cfg.Recorder.Record(h32, introspect.Event{
+			Kind: introspect.EvTimeout, SID: sid, Hash: h32, Wait: int64(waited)})
 		return ErrTimeout
 	}
 	m.observeWait(waited)
+	if waited > 0 {
+		// Contended grant: attribute the wait to the lock (hot-lock
+		// table), the flight recorder, and — past the threshold — the
+		// slow-acquire log. The try path above never reaches this.
+		e.waitNS.Add(int64(waited))
+		atomicMax(&e.maxWaitNS, int64(waited))
+		m.cfg.Recorder.Record(h32, introspect.Event{
+			Kind: introspect.EvGrant, SID: sid, Hash: h32, Wait: int64(waited)})
+		if t := m.cfg.SlowLock; t > 0 && waited >= t {
+			m.cfg.Recorder.Record(h32, introspect.Event{
+				Kind: introspect.EvSlow, SID: sid, Hash: h32, Wait: int64(waited)})
+			if fn := m.cfg.SlowLockFn; fn != nil {
+				fn(name, sid, excl, waited)
+			}
+		}
+	}
 
 	s.mu.Lock()
 	if s.closed {
@@ -465,6 +526,7 @@ func (m *Manager) Acquire(sid uint64, name string, excl bool, wait time.Duration
 	} else {
 		h.shared++
 	}
+	h.grantNS = grantNS
 	s.mu.Unlock()
 	if excl {
 		m.c.exclGrants.Add(1)
@@ -472,6 +534,16 @@ func (m *Manager) Acquire(sid uint64, name string, excl bool, wait time.Duration
 		m.c.sharedGrants.Add(1)
 	}
 	return nil
+}
+
+// atomicMax raises a to at least v.
+func atomicMax(a *atomic.Int64, v int64) {
+	for {
+		cur := a.Load()
+		if v <= cur || a.CompareAndSwap(cur, v) {
+			return
+		}
+	}
 }
 
 // Release drops one shared or the exclusive hold of sid on name. Releases
@@ -505,6 +577,7 @@ func (m *Manager) Release(sid uint64, name string, excl bool) error {
 	} else {
 		h.shared--
 	}
+	held := now.UnixNano() - h.grantNS
 	if !h.excl && h.shared == 0 {
 		delete(s.holds, name)
 		s.free = h
@@ -517,6 +590,7 @@ func (m *Manager) Release(sid uint64, name string, excl bool) error {
 	}
 	m.deref(e, now)
 	m.c.releases.Add(1)
+	m.observeHold(held)
 	return nil
 }
 

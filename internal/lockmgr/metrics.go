@@ -3,6 +3,8 @@ package lockmgr
 import (
 	"sync/atomic"
 	"time"
+
+	"fairrw/internal/stats"
 )
 
 // counters are the manager's obs-style monotonic counters plus the live
@@ -51,6 +53,12 @@ type Snapshot struct {
 	WaitP99US     float64 `json:"wait_p99_us"`
 	WaitMaxUS     float64 `json:"wait_max_us"`
 	WaitTotalSecs float64 `json:"wait_total_secs"`
+
+	HoldCount  uint64  `json:"hold_count"`
+	HoldMeanUS float64 `json:"hold_mean_us"`
+	HoldP50US  float64 `json:"hold_p50_us"`
+	HoldP99US  float64 `json:"hold_p99_us"`
+	HoldMaxUS  float64 `json:"hold_max_us"`
 }
 
 // observeZeroWaits records n uncontended grants (zero queue wait) from
@@ -69,6 +77,28 @@ func (m *Manager) observeWait(d time.Duration) {
 	m.waitMu.Lock()
 	m.wait.Add(uint64(d))
 	m.waitMu.Unlock()
+}
+
+// observeHold records one release's hold time (grant to release).
+func (m *Manager) observeHold(ns int64) {
+	if ns < 0 {
+		ns = 0
+	}
+	m.holdMu.Lock()
+	m.holdH.Add(uint64(ns))
+	m.holdMu.Unlock()
+}
+
+// observeHolds records a batch's hold times under one lock hold.
+func (m *Manager) observeHolds(ns []int64) {
+	m.holdMu.Lock()
+	for _, d := range ns {
+		if d < 0 {
+			d = 0
+		}
+		m.holdH.Add(uint64(d))
+	}
+	m.holdMu.Unlock()
 }
 
 // Stats returns a snapshot of the manager's counters, table sizes, and
@@ -98,5 +128,29 @@ func (m *Manager) Stats() Snapshot {
 	s.WaitMaxUS = float64(m.wait.Max()) / 1e3
 	s.WaitTotalSecs = m.wait.Mean() * float64(m.wait.Count()) / 1e9
 	m.waitMu.Unlock()
+	m.holdMu.Lock()
+	s.HoldCount = m.holdH.Count()
+	s.HoldMeanUS = m.holdH.Mean() / 1e3
+	s.HoldP50US = m.holdH.Percentile(50) / 1e3
+	s.HoldP99US = m.holdH.Percentile(99) / 1e3
+	s.HoldMaxUS = float64(m.holdH.Max()) / 1e3
+	m.holdMu.Unlock()
 	return s
+}
+
+// WaitHistogram returns a copy of the grant-wait histogram (ns samples)
+// for exposition (the admin plane's Prometheus histogram).
+func (m *Manager) WaitHistogram() stats.Histogram {
+	m.waitMu.Lock()
+	h := m.wait
+	m.waitMu.Unlock()
+	return h
+}
+
+// HoldHistogram returns a copy of the hold-time histogram (ns samples).
+func (m *Manager) HoldHistogram() stats.Histogram {
+	m.holdMu.Lock()
+	h := m.holdH
+	m.holdMu.Unlock()
+	return h
 }

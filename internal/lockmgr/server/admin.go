@@ -1,0 +1,221 @@
+package server
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/pprof"
+	"strconv"
+
+	"fairrw/internal/lockmgr"
+	"fairrw/internal/lockmgr/introspect"
+	"fairrw/internal/stats"
+)
+
+// The admin plane: a live HTTP view of the lock service. One handler
+// serves the same metrics in two encodings — Prometheus text for
+// scrapers and JSON (the manager snapshot schema the wire Stats op and
+// -metrics files already use, extended with worker and hot-lock tables)
+// — plus the flight recorder and net/http/pprof. Every endpoint reads
+// through the same lock-free counters the request path updates, so a
+// scrape never stops a worker loop.
+
+// defaultHotLocks is the hot-lock table depth served when a request
+// does not pass ?k=.
+const defaultHotLocks = 20
+
+// BuildInfo identifies the running binary so every metrics payload (and
+// each bench JSON row derived from one) is attributable to a build.
+type BuildInfo struct {
+	Version   string `json:"version"`
+	GoVersion string `json:"go_version"`
+}
+
+// WorkerStats is one event-loop worker's counters at a scrape.
+type WorkerStats struct {
+	Worker       int     `json:"worker"`
+	Conns        int64   `json:"conns"`
+	Wakeups      uint64  `json:"wakeups"`
+	Donations    uint64  `json:"donations"`
+	Batches      uint64  `json:"batches"`
+	BatchOps     uint64  `json:"batch_ops"`
+	Parks        uint64  `json:"parks"`
+	Unparks      uint64  `json:"unparks"`
+	Condemned    uint64  `json:"condemned"`
+	Drained      uint64  `json:"drained"`
+	Flushes      uint64  `json:"flushes"`
+	FlushStalls  uint64  `json:"flush_stalls"`
+	FlushStallUS float64 `json:"flush_stall_us"`
+	Backpressure uint64  `json:"backpressure"`
+}
+
+// WorkerStats snapshots every worker's event-loop counters.
+func (s *Server) WorkerStats() []WorkerStats {
+	out := make([]WorkerStats, len(s.workers))
+	for i, w := range s.workers {
+		out[i] = WorkerStats{
+			Worker:       w.idx,
+			Conns:        w.st.conns.Load(),
+			Wakeups:      w.st.wakeups.Load(),
+			Donations:    w.st.donations.Load(),
+			Batches:      w.st.batches.Load(),
+			BatchOps:     w.st.batchOps.Load(),
+			Parks:        w.st.parks.Load(),
+			Unparks:      w.st.unparks.Load(),
+			Condemned:    w.st.condemned.Load(),
+			Drained:      w.st.drained.Load(),
+			Flushes:      w.st.flushes.Load(),
+			FlushStalls:  w.st.flushStalls.Load(),
+			FlushStallUS: float64(w.st.flushStallNS.Load()) / 1e3,
+			Backpressure: w.st.backpressure.Load(),
+		}
+	}
+	return out
+}
+
+// BatchSizeHistogram merges the per-worker ops-per-batch histograms.
+func (s *Server) BatchSizeHistogram() stats.Histogram {
+	var h stats.Histogram
+	for _, w := range s.workers {
+		w.bhMu.Lock()
+		wh := w.batchH
+		w.bhMu.Unlock()
+		h.Merge(&wh)
+	}
+	return h
+}
+
+// Recorder returns the server's flight recorder (nil when disabled).
+func (s *Server) Recorder() *introspect.Recorder { return s.rec }
+
+// MetricsPayload is the admin plane's JSON document, also what
+// cmd/lockd writes as its -metrics file.
+type MetricsPayload struct {
+	Build    BuildInfo             `json:"build"`
+	Manager  lockmgr.Snapshot      `json:"manager"`
+	Workers  []WorkerStats         `json:"workers"`
+	HotLocks []lockmgr.LockProfile `json:"hot_locks"`
+}
+
+// Metrics assembles the full observability payload.
+func (s *Server) Metrics(bi BuildInfo, topK int) MetricsPayload {
+	return MetricsPayload{
+		Build:    bi,
+		Manager:  s.m.Stats(),
+		Workers:  s.WorkerStats(),
+		HotLocks: s.m.HotLocks(topK),
+	}
+}
+
+// WriteProm renders the full metrics set in the Prometheus text
+// exposition format: manager counters and gauges, wait/hold/batch-size
+// histograms, per-worker series labelled worker="i", and the top-k
+// hot-lock table labelled by lock name.
+func (s *Server) WriteProm(w io.Writer, bi BuildInfo, topK int) {
+	snap := s.m.Stats()
+	pw := &introspect.PromWriter{W: w}
+
+	pw.Gauge("lockd_build_info", fmt.Sprintf(`version=%q,go=%q`, bi.Version, bi.GoVersion), 1)
+
+	pw.Counter("lockd_shared_grants_total", "", snap.SharedGrants)
+	pw.Counter("lockd_excl_grants_total", "", snap.ExclGrants)
+	pw.Counter("lockd_releases_total", "", snap.Releases)
+	pw.Counter("lockd_timeouts_total", "", snap.Timeouts)
+	pw.Counter("lockd_keepalives_total", "", snap.Keepalives)
+	pw.Counter("lockd_sessions_opened_total", "", snap.SessionsOpened)
+	pw.Counter("lockd_sessions_closed_total", "", snap.SessionsClosed)
+	pw.Counter("lockd_lease_expirations_total", "", snap.LeaseExpirations)
+	pw.Counter("lockd_revoked_holds_total", "", snap.RevokedHolds)
+	pw.Counter("lockd_entries_created_total", "", snap.EntriesCreated)
+	pw.Counter("lockd_entries_gced_total", "", snap.EntriesGCed)
+	pw.Gauge("lockd_entries", "", float64(snap.Entries))
+	pw.Gauge("lockd_sessions", "", float64(snap.Sessions))
+	pw.Gauge("lockd_waiting", "", float64(snap.Waiting))
+
+	wh := s.m.WaitHistogram()
+	wh.WriteProm(w, "lockd_wait_seconds", "", 1e-9)
+	hh := s.m.HoldHistogram()
+	hh.WriteProm(w, "lockd_hold_seconds", "", 1e-9)
+	bh := s.BatchSizeHistogram()
+	bh.WriteProm(w, "lockd_batch_ops", "", 1)
+
+	for _, ws := range s.WorkerStats() {
+		l := fmt.Sprintf(`worker="%d"`, ws.Worker)
+		pw.Gauge("lockd_worker_conns", l, float64(ws.Conns))
+		pw.Counter("lockd_worker_wakeups_total", l, ws.Wakeups)
+		pw.Counter("lockd_worker_donations_total", l, ws.Donations)
+		pw.Counter("lockd_worker_batches_total", l, ws.Batches)
+		pw.Counter("lockd_worker_batch_ops_total", l, ws.BatchOps)
+		pw.Counter("lockd_worker_parks_total", l, ws.Parks)
+		pw.Counter("lockd_worker_unparks_total", l, ws.Unparks)
+		pw.Counter("lockd_worker_condemned_total", l, ws.Condemned)
+		pw.Counter("lockd_worker_drained_total", l, ws.Drained)
+		pw.Counter("lockd_worker_flushes_total", l, ws.Flushes)
+		pw.Counter("lockd_worker_flush_stalls_total", l, ws.FlushStalls)
+		pw.Gauge("lockd_worker_flush_stall_seconds_total", l, ws.FlushStallUS*1e-6)
+		pw.Counter("lockd_worker_backpressure_total", l, ws.Backpressure)
+	}
+
+	for _, hl := range s.m.HotLocks(topK) {
+		l := fmt.Sprintf(`lock="%s"`, introspect.EscapeLabel(hl.Name))
+		pw.Counter("lockd_hot_lock_acquires_total", l, hl.Acquires)
+		pw.Gauge("lockd_hot_lock_wait_seconds_total", l, hl.WaitTotalUS*1e-6)
+		pw.Gauge("lockd_hot_lock_wait_max_seconds", l, hl.WaitMaxUS*1e-6)
+		pw.Gauge("lockd_hot_lock_queue_len", l, float64(hl.QueueLen))
+	}
+}
+
+// AdminHandler returns the admin-plane HTTP handler:
+//
+//	/metrics        Prometheus text exposition
+//	/metrics.json   MetricsPayload as JSON (?k= hot-lock depth)
+//	/hotlocks       the hot-lock table alone (?k= depth)
+//	/flight         flight-recorder dump, oldest event first
+//	/debug/pprof/   the standard net/http/pprof surface
+//
+// Mount it on its own listener (lockd -admin): it is an operator
+// surface and shares nothing with the wire-protocol port.
+func (s *Server) AdminHandler(bi BuildInfo) http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		s.WriteProm(w, bi, hotK(r))
+	})
+	mux.HandleFunc("/metrics.json", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", " ")
+		enc.Encode(s.Metrics(bi, hotK(r)))
+	})
+	mux.HandleFunc("/hotlocks", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", " ")
+		enc.Encode(s.m.HotLocks(hotK(r)))
+	})
+	mux.HandleFunc("/flight", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		if s.rec == nil {
+			fmt.Fprintln(w, "(flight recorder disabled)")
+			return
+		}
+		s.rec.Dump(w)
+	})
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	return mux
+}
+
+// hotK parses the ?k= hot-lock depth, defaulting to defaultHotLocks.
+func hotK(r *http.Request) int {
+	if v := r.URL.Query().Get("k"); v != "" {
+		if k, err := strconv.Atoi(v); err == nil && k > 0 {
+			return k
+		}
+	}
+	return defaultHotLocks
+}

@@ -65,8 +65,16 @@ func (c *conn) readLoop() {
 		n, err := c.nc.Read(buf)
 		c.mu.Lock()
 		if n > 0 {
-			for len(c.inbox) > maxInbox && !c.closed {
-				c.cond.Wait()
+			if len(c.inbox) > maxInbox && !c.closed {
+				// The inbox bound engaged: this reader now blocks, which
+				// is what turns a runaway pipelining client into TCP
+				// backpressure. Counted once per engagement, not per
+				// cond wakeup, so the admin gauge reads as "times a
+				// client was throttled".
+				c.w.st.backpressure.Add(1)
+				for len(c.inbox) > maxInbox && !c.closed {
+					c.cond.Wait()
+				}
 			}
 			c.inbox = append(c.inbox, buf[:n]...)
 		}

@@ -24,6 +24,7 @@ import (
 	"time"
 
 	"fairrw/internal/lockmgr"
+	"fairrw/internal/lockmgr/introspect"
 	"fairrw/internal/lockmgr/wire"
 )
 
@@ -33,6 +34,12 @@ type Config struct {
 	Workers int
 	// WriteTimeout bounds each coalesced response write. Default 10s.
 	WriteTimeout time.Duration
+	// Recorder, when non-nil, receives the server-side grant-path
+	// flight events (park, unpark, connection condemn/drain), keyed by
+	// worker index so each event loop writes its own ring. Share it
+	// with the manager's Config.Recorder so one dump interleaves both
+	// layers' views of the same acquire.
+	Recorder *introspect.Recorder
 }
 
 func (c *Config) fill() {
@@ -48,6 +55,7 @@ func (c *Config) fill() {
 type Server struct {
 	m   *lockmgr.Manager
 	cfg Config
+	rec *introspect.Recorder // alias of cfg.Recorder (nil = disabled)
 
 	workers []*worker
 	drainCh chan struct{} // closed once by Shutdown; observed by workers
@@ -73,12 +81,13 @@ func NewWithConfig(m *lockmgr.Manager, cfg Config) *Server {
 	s := &Server{
 		m:       m,
 		cfg:     cfg,
+		rec:     cfg.Recorder,
 		drainCh: make(chan struct{}),
 		conns:   make(map[*conn]struct{}),
 	}
 	s.workers = make([]*worker, cfg.Workers)
 	for i := range s.workers {
-		s.workers[i] = newWorker(s)
+		s.workers[i] = newWorker(s, i)
 	}
 	s.wg.Add(len(s.workers))
 	for _, w := range s.workers {

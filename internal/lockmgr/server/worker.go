@@ -4,18 +4,52 @@ import (
 	"encoding/binary"
 	"encoding/json"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"fairrw/internal/lockmgr"
+	"fairrw/internal/lockmgr/introspect"
 	"fairrw/internal/lockmgr/wire"
+	"fairrw/internal/stats"
 )
 
 // injection is a grant completion: a parked acquire finished (granted,
 // timed out, or revoked) and its response must be written by the conn's
 // owning worker, in order, ahead of the frames deferred behind it.
 type injection struct {
-	c   *conn
-	err error
+	c    *conn
+	err  error
+	sid  uint64
+	hash uint32 // lock-name hash, for the flight recorder
+}
+
+// flushStallThreshold classifies a response write as stalled: a loopback
+// or LAN socket absorbs a coalesced burst in microseconds, so a write
+// this slow means the peer's receive window closed (or the scheduler
+// preempted the loop) — the head-of-line risk flush's comment documents,
+// now countable instead of invisible.
+const flushStallThreshold = time.Millisecond
+
+// wstats are one worker's event-loop counters, the live half of the
+// observability plane. They are written by whoever holds loopMu (plus
+// the reader goroutines for backpressure) and read by the admin scraper
+// without stopping the loop, hence atomics; the pad keeps one worker's
+// counter block from false-sharing with its neighbour's.
+type wstats struct {
+	wakeups      atomic.Uint64 // dedicated-goroutine loop cycles
+	donations    atomic.Uint64 // cycles run inline on a reader goroutine
+	batches      atomic.Uint64 // ExecBatch calls with at least one op
+	batchOps     atomic.Uint64 // ops summed over those batches
+	parks        atomic.Uint64 // acquires parked as continuations
+	unparks      atomic.Uint64 // grant completions injected back
+	condemned    atomic.Uint64 // conns condemned (malformed frame, write error)
+	drained      atomic.Uint64 // conns retired cleanly at EOF
+	flushes      atomic.Uint64 // coalesced response writes
+	flushStalls  atomic.Uint64 // writes slower than flushStallThreshold
+	flushStallNS atomic.Uint64 // time spent inside stalled writes
+	backpressure atomic.Uint64 // reader blocked on the full-inbox bound
+	conns        atomic.Int64  // connections currently owned
+	_            [24]byte
 }
 
 // worker is one event loop. It owns a set of connections outright;
@@ -37,9 +71,14 @@ type injection struct {
 // queue and get batched across connections on the next pass.
 type worker struct {
 	srv  *Server
+	idx  int            // worker index, the admin plane's `worker` label
 	q    chan *conn     // readiness: conn has new bytes (or hit EOF); nil = recheck exit
 	injq chan injection // grant completions from parked continuations
 	dead chan struct{}  // closed when the worker exits (unblocks senders)
+
+	st   wstats
+	bhMu sync.Mutex      // guards batchH against the admin scraper
+	batchH stats.Histogram // ops per executed batch
 
 	loopMu sync.Mutex // held by whoever is being the loop
 
@@ -55,9 +94,10 @@ type worker struct {
 	statsCs []*conn // conns whose parse stopped at an OpStats frame
 }
 
-func newWorker(s *Server) *worker {
+func newWorker(s *Server, idx int) *worker {
 	return &worker{
 		srv:   s,
+		idx:   idx,
 		q:     make(chan *conn, 256),
 		injq:  make(chan injection, 256),
 		dead:  make(chan struct{}),
@@ -83,12 +123,14 @@ func (w *worker) run() {
 		}
 		select {
 		case c := <-w.q:
+			w.st.wakeups.Add(1)
 			w.loopMu.Lock()
 			w.noteReady(c)
 			w.drainEvents()
 			w.process()
 			w.loopMu.Unlock()
 		case inj := <-w.injq:
+			w.st.wakeups.Add(1)
 			w.loopMu.Lock()
 			w.unpark(inj)
 			w.drainEvents()
@@ -110,6 +152,7 @@ func (w *worker) donate(c *conn) bool {
 	if !w.loopMu.TryLock() {
 		return false
 	}
+	w.st.donations.Add(1)
 	w.noteReady(c)
 	w.drainEvents()
 	w.process()
@@ -139,6 +182,7 @@ func (w *worker) noteReady(c *conn) {
 	}
 	if _, ok := w.conns[c]; !ok {
 		w.conns[c] = struct{}{} // first event doubles as registration
+		w.st.conns.Add(1)
 	}
 	if c.take() {
 		c.eofSeen = true
@@ -155,6 +199,9 @@ func (w *worker) noteReady(c *conn) {
 func (w *worker) unpark(inj injection) {
 	c := inj.c
 	c.parked = false
+	w.st.unparks.Add(1)
+	w.srv.rec.Record(uint32(w.idx), introspect.Event{
+		Kind: introspect.EvUnpark, Conn: c.id, SID: inj.sid, Hash: inj.hash})
 	if !c.dead {
 		resp := wire.Response{Status: statusOf(inj.err)}
 		c.wbuf, _ = wire.AppendResponseFrame(c.wbuf, &resp)
@@ -177,6 +224,13 @@ func (w *worker) process() {
 		}
 		if len(w.ops) == 0 && len(w.statsCs) == 0 {
 			break
+		}
+		if n := len(w.ops); n > 0 {
+			w.st.batches.Add(1)
+			w.st.batchOps.Add(uint64(n))
+			w.bhMu.Lock()
+			w.batchH.Add(uint64(n))
+			w.bhMu.Unlock()
 		}
 		w.srv.m.ExecBatch(w.ops, w.sc)
 		w.encode()
@@ -280,11 +334,15 @@ func (w *worker) encode() {
 func (w *worker) park(c *conn, op *lockmgr.BatchOp, endPos int) {
 	c.parked = true
 	c.parsePos = endPos // deferred frames stay buffered for re-parse
+	w.st.parks.Add(1)
+	hash := introspect.HashBytes(op.Name)
+	w.srv.rec.Record(uint32(w.idx), introspect.Event{
+		Kind: introspect.EvPark, Conn: c.id, SID: op.SID, Hash: hash, Wait: op.Wait})
 	sid, name, excl, wait := op.SID, string(op.Name), op.Excl, time.Duration(op.Wait)
 	go func() {
 		err := w.srv.m.Acquire(sid, name, excl, wait)
 		select {
-		case w.injq <- injection{c: c, err: err}:
+		case w.injq <- injection{c: c, err: err, sid: sid, hash: hash}:
 		case <-w.dead:
 		}
 	}()
@@ -341,12 +399,20 @@ func (w *worker) flush(c *conn) {
 	// flushes per second that is measurable. A deadline that is stale by up
 	// to half the timeout still bounds the write at 1–1.5x WriteTimeout,
 	// so re-arm coarsely instead of per write.
-	if now := time.Now(); now.Sub(c.wdlArmed) > w.srv.cfg.WriteTimeout/2 {
+	now := time.Now()
+	if now.Sub(c.wdlArmed) > w.srv.cfg.WriteTimeout/2 {
 		c.nc.SetWriteDeadline(now.Add(w.srv.cfg.WriteTimeout + w.srv.cfg.WriteTimeout/2))
 		c.wdlArmed = now
 	}
 	_, err := c.nc.Write(c.wbuf)
 	c.wbuf = c.wbuf[:0]
+	w.st.flushes.Add(1)
+	if d := time.Since(now); d >= flushStallThreshold {
+		// The head-of-line stall the flush-under-loopMu tradeoff risks:
+		// count it and the time it cost this loop's other conns.
+		w.st.flushStalls.Add(1)
+		w.st.flushStallNS.Add(uint64(d))
+	}
 	if err != nil {
 		c.dead = true
 	}
@@ -378,14 +444,26 @@ func (c *conn) hasFrame() bool {
 	return len(buf) >= 4+n
 }
 
-// drop closes and forgets a conn.
+// drop closes and forgets a conn, classifying the exit for the admin
+// plane: condemned (malformed frame or write error set dead) or drained
+// (clean EOF with nothing left to parse).
 func (w *worker) drop(c *conn) {
 	if c.removed {
 		return
 	}
+	if c.dead {
+		w.st.condemned.Add(1)
+		w.srv.rec.Record(uint32(w.idx), introspect.Event{Kind: introspect.EvCondemn, Conn: c.id})
+	} else {
+		w.st.drained.Add(1)
+		w.srv.rec.Record(uint32(w.idx), introspect.Event{Kind: introspect.EvDrain, Conn: c.id})
+	}
 	c.removed = true
 	c.dead = true
-	delete(w.conns, c)
+	if _, ok := w.conns[c]; ok {
+		delete(w.conns, c)
+		w.st.conns.Add(-1)
+	}
 	c.nc.Close()
 	c.mu.Lock()
 	c.closed = true

@@ -1,0 +1,108 @@
+package stats
+
+import (
+	"strconv"
+	"strings"
+	"testing"
+)
+
+// TestWritePromCumulative checks the exposition invariants scrapers
+// rely on: one TYPE header, strictly increasing le bounds, monotone
+// non-decreasing cumulative counts, +Inf bucket == _count == n, and
+// the scale factor applied to bounds and _sum alike.
+func TestWritePromCumulative(t *testing.T) {
+	var h Histogram
+	for _, v := range []uint64{1, 1, 5, 100, 100, 100, 70000} {
+		h.Add(v)
+	}
+	var sb strings.Builder
+	h.WriteProm(&sb, "x_ns", "", 1e-9)
+	out := sb.String()
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	if lines[0] != "# TYPE x_ns histogram" {
+		t.Fatalf("header = %q", lines[0])
+	}
+
+	var prevLE float64 = -1
+	var prevCum uint64
+	var infSeen bool
+	var count uint64
+	for _, ln := range lines[1:] {
+		switch {
+		case strings.HasPrefix(ln, "x_ns_bucket{le=\"+Inf\"}"):
+			infSeen = true
+			v, _ := strconv.ParseUint(strings.Fields(ln)[1], 10, 64)
+			if v != 7 {
+				t.Fatalf("+Inf bucket = %d, want 7", v)
+			}
+		case strings.HasPrefix(ln, "x_ns_bucket{le=\""):
+			le, err := strconv.ParseFloat(ln[len(`x_ns_bucket{le="`):strings.Index(ln, `"}`)], 64)
+			if err != nil {
+				t.Fatalf("bad le in %q: %v", ln, err)
+			}
+			if le <= prevLE {
+				t.Fatalf("le bounds not increasing: %g after %g", le, prevLE)
+			}
+			if le > 70000*1e-9*2 {
+				t.Fatalf("le %g not scaled to seconds", le)
+			}
+			prevLE = le
+			cum, _ := strconv.ParseUint(strings.Fields(ln)[1], 10, 64)
+			if cum < prevCum {
+				t.Fatalf("cumulative count decreased: %d after %d", cum, prevCum)
+			}
+			prevCum = cum
+		case strings.HasPrefix(ln, "x_ns_sum "):
+			sum, _ := strconv.ParseFloat(strings.Fields(ln)[1], 64)
+			want := float64(1+1+5+100+100+100+70000) * 1e-9
+			if diff := sum - want; diff > 1e-12 || diff < -1e-12 {
+				t.Fatalf("_sum = %g, want %g", sum, want)
+			}
+		case strings.HasPrefix(ln, "x_ns_count "):
+			count, _ = strconv.ParseUint(strings.Fields(ln)[1], 10, 64)
+		}
+	}
+	if !infSeen {
+		t.Fatal("no +Inf bucket")
+	}
+	if count != 7 {
+		t.Fatalf("_count = %d, want 7", count)
+	}
+	if prevCum != 7 {
+		t.Fatalf("last finite cumulative = %d, want 7 (all samples finite)", prevCum)
+	}
+}
+
+// TestWritePromSeriesLabels: labelled series append the shared labels
+// to every line and skip their own TYPE header.
+func TestWritePromSeriesLabels(t *testing.T) {
+	var h Histogram
+	h.Add(10)
+	var sb strings.Builder
+	h.WritePromSeries(&sb, "lat", `run="a"`, 1)
+	out := sb.String()
+	if strings.Contains(out, "# TYPE") {
+		t.Fatalf("WritePromSeries emitted a TYPE header:\n%s", out)
+	}
+	for _, want := range []string{
+		`lat_bucket{run="a",le="`, `lat_bucket{run="a",le="+Inf"} 1`,
+		`lat_sum{run="a"} 10`, `lat_count{run="a"} 1`,
+	} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("missing %q:\n%s", want, out)
+		}
+	}
+}
+
+// TestWritePromEmpty: an empty histogram is still a valid exposition.
+func TestWritePromEmpty(t *testing.T) {
+	var h Histogram
+	var sb strings.Builder
+	h.WriteProm(&sb, "e", "", 1)
+	out := sb.String()
+	for _, want := range []string{`e_bucket{le="+Inf"} 0`, "e_sum 0", "e_count 0"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("missing %q:\n%s", want, out)
+		}
+	}
+}

@@ -6,6 +6,8 @@
 package stats
 
 import (
+	"fmt"
+	"io"
 	"math"
 	"math/bits"
 	"sort"
@@ -261,6 +263,46 @@ func (h *Histogram) Percentile(p float64) float64 {
 		cum += c
 	}
 	return float64(h.max)
+}
+
+// WriteProm renders h as one Prometheus cumulative histogram: a # TYPE
+// header, one `_bucket` line per non-empty bucket (cumulative counts,
+// inclusive `le` upper bounds) plus the mandatory `+Inf` bucket, then
+// `_sum` and `_count`. scale converts sample units into the exported
+// unit — 1e-9 for nanosecond samples exported as Prometheus-conventional
+// seconds. labels is the brace-free label list shared by every line
+// (empty for none). Rendering only non-empty buckets keeps a 256-bucket
+// log histogram's exposition compact while staying a valid cumulative
+// histogram: `le` bounds are strictly increasing by construction.
+func (h *Histogram) WriteProm(w io.Writer, name, labels string, scale float64) {
+	fmt.Fprintf(w, "# TYPE %s histogram\n", name)
+	h.WritePromSeries(w, name, labels, scale)
+}
+
+// WritePromSeries is WriteProm without the # TYPE header, for emitting
+// several label sets of the same histogram family under one header.
+func (h *Histogram) WritePromSeries(w io.Writer, name, labels string, scale float64) {
+	sep := ""
+	if labels != "" {
+		sep = ","
+	}
+	var cum uint64
+	for i, c := range h.counts {
+		if c == 0 {
+			continue
+		}
+		_, hi := histBounds(i)
+		cum += c
+		fmt.Fprintf(w, "%s_bucket{%sle=\"%g\"} %d\n", name, labels+sep, float64(hi)*scale, cum)
+	}
+	fmt.Fprintf(w, "%s_bucket{%sle=\"+Inf\"} %d\n", name, labels+sep, h.n)
+	if labels == "" {
+		fmt.Fprintf(w, "%s_sum %g\n", name, float64(h.sum)*scale)
+		fmt.Fprintf(w, "%s_count %d\n", name, h.n)
+	} else {
+		fmt.Fprintf(w, "%s_sum{%s} %g\n", name, labels, float64(h.sum)*scale)
+		fmt.Fprintf(w, "%s_count{%s} %d\n", name, labels, h.n)
+	}
 }
 
 // Bucket is one non-empty histogram bucket.
