@@ -91,7 +91,9 @@ func main() {
 		maxLease     = flag.Duration("max-lease", time.Minute, "cap on requested leases")
 		idle         = flag.Duration("idle", 2*time.Second, "idle time before an unused lock entry is collected")
 		grace        = flag.Duration("grace", 5*time.Second, "drain grace period on shutdown")
-		workers      = flag.Int("workers", 0, "event-loop workers (0 = GOMAXPROCS)")
+		workers      = flag.Int("workers", 0, "event-loop workers (0 = GOMAXPROCS; rounded down to a power of two when -affinity is on)")
+		affinity     = flag.Bool("affinity", true, "shard-affine execution: route each op to the worker owning its lock's shard")
+		flushPass    = flag.Duration("flushpass", 0, "flusher writev pass budget before a stalled conn escalates to its own writer (0 = default 20ms)")
 		metricsPath  = flag.String("metrics", "", "write metrics JSON here on shutdown, SIGUSR1, and every -metrics-interval (\"-\" = stdout, shutdown only)")
 		metricsIvl   = flag.Duration("metrics-interval", 0, "periodic metrics flush period (0 = shutdown/SIGUSR1 only)")
 		slowlock     = flag.Duration("slowlock", 0, "log acquires whose queue wait reaches this threshold (0 = off)")
@@ -139,7 +141,12 @@ func main() {
 		SlowLock:      *slowlock,
 		SlowLockFn:    slowFn,
 	})
-	srv := server.NewWithConfig(mgr, server.Config{Workers: *workers, Recorder: rec})
+	srv := server.NewWithConfig(mgr, server.Config{
+		Workers:    *workers,
+		NoAffinity: !*affinity,
+		FlushPass:  *flushPass,
+		Recorder:   rec,
+	})
 
 	// writeMetrics serializes the full admin payload to the -metrics
 	// path. Shutdown, SIGUSR1, and the periodic flusher all funnel
@@ -237,8 +244,12 @@ func main() {
 		srv.Shutdown(*grace)
 	}()
 
-	log.Printf("lockd: %s %s serving on %s (%d shards, sweep %v, %d workers)",
-		bi.Version, bi.GoVersion, ln.Addr(), *shards, *sweep, srv.Workers())
+	mode := "affinity"
+	if !srv.Affinity() {
+		mode = "no-affinity"
+	}
+	log.Printf("lockd: %s %s serving on %s (%d shards, sweep %v, %d workers, %s)",
+		bi.Version, bi.GoVersion, ln.Addr(), *shards, *sweep, srv.Workers(), mode)
 	if err := srv.Serve(ln); err != nil {
 		log.Fatalf("lockd: serve: %v", err)
 	}

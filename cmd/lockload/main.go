@@ -45,6 +45,7 @@ import (
 	"log"
 	"math/rand"
 	"os"
+	"runtime"
 	"strconv"
 	"strings"
 	"sync"
@@ -66,6 +67,15 @@ type point struct {
 	Depth   int     `json:"depth,omitempty"`
 	Rate    float64 `json:"rate,omitempty"` // open loop: target transactions/s
 	DurS    float64 `json:"duration_s"`
+
+	// Host/server metadata, so a committed row is self-describing: a
+	// "workers=4" number means nothing without knowing how many
+	// schedulable CPUs the generator and the daemon actually had, or
+	// whether shard-affinity routing was on.
+	GoMaxProcs     int  `json:"gomaxprocs,omitempty"`
+	NumCPU         int  `json:"num_cpu,omitempty"`
+	ServerWorkers  int  `json:"server_workers,omitempty"`
+	ServerAffinity bool `json:"server_affinity,omitempty"`
 
 	Pairs        uint64  `json:"pairs"`
 	OpsPerSec    float64 `json:"ops_per_sec"` // wire ops: 2 per pair
@@ -212,6 +222,7 @@ func main() {
 		fmt.Printf("%7s %10s %12s %12s %9s %9s %9s %9s %9s %7s\n",
 			"read%", "rate", "pairs", "ops/s", "p50(us)", "p95(us)", "p99(us)", "p999(us)", "timeouts", "errors")
 	}
+	srvWorkers, srvAffinity := serverInfo(*addr)
 	var results []point
 	var hists []stats.Histogram
 	var failed bool
@@ -219,6 +230,9 @@ func main() {
 		c := cfg
 		c.readPct, c.rate = spec.readPct, spec.rate
 		p, lat := run(c)
+		p.GoMaxProcs = runtime.GOMAXPROCS(0)
+		p.NumCPU = runtime.NumCPU()
+		p.ServerWorkers, p.ServerAffinity = srvWorkers, srvAffinity
 		results = append(results, p)
 		hists = append(hists, lat)
 		if p.Errors > 0 {
@@ -262,6 +276,30 @@ func main() {
 	}
 }
 
+// serverInfo asks the target daemon to describe itself through the
+// Stats payload (worker count, affinity mode). Best effort: a server
+// predating those fields, or no server at all, yields zeros and the
+// bench rows simply omit the metadata.
+func serverInfo(addr string) (workers int, affinity bool) {
+	c, err := client.Dial(addr)
+	if err != nil {
+		return 0, false
+	}
+	defer c.Close()
+	raw, err := c.Stats()
+	if err != nil {
+		return 0, false
+	}
+	var info struct {
+		ServerWorkers  int  `json:"server_workers"`
+		ServerAffinity bool `json:"server_affinity"`
+	}
+	if json.Unmarshal(raw, &info) != nil {
+		return 0, false
+	}
+	return info.ServerWorkers, info.ServerAffinity
+}
+
 // checkBenchDoc enforces BENCH_lockd.json's contract: it parses, it
 // names its host and toolchain, it records the pre-change baseline, and
 // its open-loop curve has at least 4 rate points with sane percentiles.
@@ -295,6 +333,12 @@ func checkBenchDoc(path string) error {
 		}
 		if p.P50US <= 0 || p.P99US < p.P50US {
 			return fmt.Errorf("point %d: implausible percentiles p50=%v p99=%v", i, p.P50US, p.P99US)
+		}
+		// New-style rows carry host metadata; a row that names the server's
+		// worker count must also name the CPU budget it ran under, or the
+		// number cannot be interpreted.
+		if p.ServerWorkers != 0 && (p.GoMaxProcs <= 0 || p.NumCPU <= 0) {
+			return fmt.Errorf("point %d: server_workers=%d without gomaxprocs/num_cpu", i, p.ServerWorkers)
 		}
 	}
 	for i, p := range doc.OpenLoop {

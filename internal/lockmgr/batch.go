@@ -423,3 +423,13 @@ func fnv32b(b []byte) uint32 {
 	}
 	return h
 }
+
+// ShardCount reports the number of lock-table shards (a power of two).
+func (m *Manager) ShardCount() int { return len(m.shards) }
+
+// ShardIndex returns the shard a lock name hashes to, without
+// allocating. This is the partitioning key an affinity-aware runtime
+// uses to route an op to the worker that owns the shard — the software
+// analogue of the paper's per-memory-controller LRT banks, where a lock
+// address picks exactly one bank.
+func (m *Manager) ShardIndex(name []byte) uint32 { return fnv32b(name) & m.mask }

@@ -499,9 +499,14 @@ func (m *Manager) Acquire(sid uint64, name string, excl bool, wait time.Duration
 	}
 
 	s.mu.Lock()
-	if s.closed {
+	if s.closed || m.closed.Load() {
 		// Granted after revocation (the grant/cancel race, or a timed
 		// acquire that outlived the lease): hand the lock straight back.
+		// The manager-wide flag closes the Close-in-progress window:
+		// revoking one session's holds can grant another session's
+		// parked waiter before Close reaches that session, and Close
+		// promises blocked acquires a definitive ErrExpired, not a
+		// grant that is about to be revoked.
 		s.mu.Unlock()
 		if excl {
 			e.lock.Unlock()

@@ -48,6 +48,23 @@ type WorkerStats struct {
 	FlushStalls  uint64  `json:"flush_stalls"`
 	FlushStallUS float64 `json:"flush_stall_us"`
 	Backpressure uint64  `json:"backpressure"`
+
+	// Shard-affinity counters: the cross-worker forwarding plane.
+	HomeOps      uint64 `json:"home_ops"`      // named ops decoded on their home worker
+	FwdRuns      uint64 `json:"fwd_runs"`      // runs forwarded to a peer
+	FwdOps       uint64 `json:"fwd_ops"`       // ops summed over those runs
+	FwdIn        uint64 `json:"fwd_in"`        // foreign ops executed for peers
+	FwdInline    uint64 `json:"fwd_inline"`    // peer cycles run inline after a forward
+	FwdFallbacks uint64 `json:"fwd_fallbacks"` // runs executed locally (ring full/draining)
+	RingDepth    uint64 `json:"ring_depth"`    // published-but-unconsumed inbound runs
+	OutBlocked   uint64 `json:"out_blocked"`   // parse pauses on the flusher backlog bound
+
+	// Flusher-stage counters: the writev plane.
+	Writevs          uint64 `json:"writevs"`           // writev passes issued
+	WritevChunks     uint64 `json:"writev_chunks"`     // per-conn chunks summed over passes
+	WritevBytes      uint64 `json:"writev_bytes"`      // bytes written by the stage
+	FlushEscalations uint64 `json:"flush_escalations"` // passes handed to a dedicated writer
+	WriteErrs        uint64 `json:"write_errs"`        // conns condemned on write errors
 }
 
 // WorkerStats snapshots every worker's event-loop counters.
@@ -69,6 +86,21 @@ func (s *Server) WorkerStats() []WorkerStats {
 			FlushStalls:  w.st.flushStalls.Load(),
 			FlushStallUS: float64(w.st.flushStallNS.Load()) / 1e3,
 			Backpressure: w.st.backpressure.Load(),
+
+			HomeOps:      w.st.homeOps.Load(),
+			FwdRuns:      w.st.fwdRuns.Load(),
+			FwdOps:       w.st.fwdOps.Load(),
+			FwdIn:        w.st.fwdIn.Load(),
+			FwdInline:    w.st.fwdInline.Load(),
+			FwdFallbacks: w.st.fwdFallbacks.Load(),
+			RingDepth:    w.ring.depth(),
+			OutBlocked:   w.st.outBlocked.Load(),
+
+			Writevs:          w.fl.writevs.Load(),
+			WritevChunks:     w.fl.writevBufs.Load(),
+			WritevBytes:      w.fl.writevBytes.Load(),
+			FlushEscalations: w.fl.escalations.Load(),
+			WriteErrs:        w.fl.writeErrs.Load(),
 		}
 	}
 	return out
@@ -86,6 +118,20 @@ func (s *Server) BatchSizeHistogram() stats.Histogram {
 	return h
 }
 
+// WritevSizeHistogram merges the per-flusher chunks-per-writev
+// histograms: how many per-conn response chunks each flusher pass
+// coalesced into one writev.
+func (s *Server) WritevSizeHistogram() stats.Histogram {
+	var h stats.Histogram
+	for _, w := range s.workers {
+		w.fl.wvMu.Lock()
+		wh := w.fl.wvH
+		w.fl.wvMu.Unlock()
+		h.Merge(&wh)
+	}
+	return h
+}
+
 // Recorder returns the server's flight recorder (nil when disabled).
 func (s *Server) Recorder() *introspect.Recorder { return s.rec }
 
@@ -93,6 +139,7 @@ func (s *Server) Recorder() *introspect.Recorder { return s.rec }
 // cmd/lockd writes as its -metrics file.
 type MetricsPayload struct {
 	Build    BuildInfo             `json:"build"`
+	Affinity bool                  `json:"affinity"`
 	Manager  lockmgr.Snapshot      `json:"manager"`
 	Workers  []WorkerStats         `json:"workers"`
 	HotLocks []lockmgr.LockProfile `json:"hot_locks"`
@@ -102,6 +149,7 @@ type MetricsPayload struct {
 func (s *Server) Metrics(bi BuildInfo, topK int) MetricsPayload {
 	return MetricsPayload{
 		Build:    bi,
+		Affinity: s.Affinity(),
 		Manager:  s.m.Stats(),
 		Workers:  s.WorkerStats(),
 		HotLocks: s.m.HotLocks(topK),
@@ -133,12 +181,16 @@ func (s *Server) WriteProm(w io.Writer, bi BuildInfo, topK int) {
 	pw.Gauge("lockd_sessions", "", float64(snap.Sessions))
 	pw.Gauge("lockd_waiting", "", float64(snap.Waiting))
 
+	pw.Gauge("lockd_affinity", "", boolGauge(s.Affinity()))
+
 	wh := s.m.WaitHistogram()
 	wh.WriteProm(w, "lockd_wait_seconds", "", 1e-9)
 	hh := s.m.HoldHistogram()
 	hh.WriteProm(w, "lockd_hold_seconds", "", 1e-9)
 	bh := s.BatchSizeHistogram()
 	bh.WriteProm(w, "lockd_batch_ops", "", 1)
+	wvh := s.WritevSizeHistogram()
+	wvh.WriteProm(w, "lockd_writev_chunks", "", 1)
 
 	for _, ws := range s.WorkerStats() {
 		l := fmt.Sprintf(`worker="%d"`, ws.Worker)
@@ -155,6 +207,19 @@ func (s *Server) WriteProm(w io.Writer, bi BuildInfo, topK int) {
 		pw.Counter("lockd_worker_flush_stalls_total", l, ws.FlushStalls)
 		pw.Gauge("lockd_worker_flush_stall_seconds_total", l, ws.FlushStallUS*1e-6)
 		pw.Counter("lockd_worker_backpressure_total", l, ws.Backpressure)
+		pw.Counter("lockd_worker_home_ops_total", l, ws.HomeOps)
+		pw.Counter("lockd_worker_fwd_runs_total", l, ws.FwdRuns)
+		pw.Counter("lockd_worker_fwd_ops_total", l, ws.FwdOps)
+		pw.Counter("lockd_worker_fwd_in_total", l, ws.FwdIn)
+		pw.Counter("lockd_worker_fwd_inline_total", l, ws.FwdInline)
+		pw.Counter("lockd_worker_fwd_fallbacks_total", l, ws.FwdFallbacks)
+		pw.Gauge("lockd_worker_ring_depth", l, float64(ws.RingDepth))
+		pw.Counter("lockd_worker_out_blocked_total", l, ws.OutBlocked)
+		pw.Counter("lockd_worker_writevs_total", l, ws.Writevs)
+		pw.Counter("lockd_worker_writev_chunks_total", l, ws.WritevChunks)
+		pw.Counter("lockd_worker_writev_bytes_total", l, ws.WritevBytes)
+		pw.Counter("lockd_worker_flush_escalations_total", l, ws.FlushEscalations)
+		pw.Counter("lockd_worker_write_errs_total", l, ws.WriteErrs)
 	}
 
 	for _, hl := range s.m.HotLocks(topK) {
@@ -208,6 +273,14 @@ func (s *Server) AdminHandler(bi BuildInfo) http.Handler {
 	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
 	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
 	return mux
+}
+
+// boolGauge renders a bool as the conventional 0/1 gauge value.
+func boolGauge(b bool) float64 {
+	if b {
+		return 1
+	}
+	return 0
 }
 
 // hotK parses the ?k= hot-lock depth, defaulting to defaultHotLocks.

@@ -1,0 +1,244 @@
+package server
+
+import (
+	"fmt"
+	"math/rand"
+	"net"
+	"sync"
+	"testing"
+	"time"
+
+	"fairrw/internal/lockmgr"
+	"fairrw/internal/lockmgr/client"
+	"fairrw/internal/lockmgr/wire"
+)
+
+// startServerCfg is startServer with an explicit server Config, for
+// tests that pin worker count, affinity mode, or flusher budgets.
+func startServerCfg(t *testing.T, mcfg lockmgr.Config, scfg Config) (addr string, srv *Server) {
+	t.Helper()
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatalf("listen: %v", err)
+	}
+	srv = NewWithConfig(lockmgr.New(mcfg), scfg)
+	served := make(chan error, 1)
+	go func() { served <- srv.Serve(ln) }()
+	t.Cleanup(func() {
+		srv.Shutdown(5 * time.Second)
+		select {
+		case err := <-served:
+			if err != nil {
+				t.Errorf("Serve returned %v after drain, want nil", err)
+			}
+		case <-time.After(10 * time.Second):
+			t.Error("Serve did not return after Shutdown")
+		}
+	})
+	return ln.Addr().String(), srv
+}
+
+// nameHomedAt brute-forces a lock name whose shard is owned by worker
+// home (distinct from any name already in taken).
+func nameHomedAt(t *testing.T, srv *Server, home int, taken map[string]bool) string {
+	t.Helper()
+	if srv.owner == nil {
+		t.Fatal("server has no affinity owner table")
+	}
+	for i := 0; i < 1<<16; i++ {
+		name := fmt.Sprintf("aff-%d-%d", home, i)
+		if taken[name] {
+			continue
+		}
+		if int(srv.owner[srv.m.ShardIndex([]byte(name))]) == home {
+			taken[name] = true
+			return name
+		}
+	}
+	t.Fatalf("no name hashes home to worker %d", home)
+	return ""
+}
+
+// TestCrossWorkerOrdering pins per-connection response order when
+// pipelined ops on one connection hash to different home workers —
+// including frames deferred behind a park that itself resolved through
+// a forwarded run. The routing machinery may bounce ops across three
+// workers, but the client must see exactly one response per request, in
+// request order, with nothing delivered while the acquire is parked.
+func TestCrossWorkerOrdering(t *testing.T) {
+	mcfg := testCfg()
+	mcfg.Shards = 8
+	addr, srv := startServerCfg(t, mcfg, Config{Workers: 4})
+	if got := srv.Workers(); got != 4 {
+		t.Fatalf("workers = %d, want 4", got)
+	}
+	if !srv.Affinity() {
+		t.Fatal("affinity should be on by default")
+	}
+
+	rc := dialRaw(t, addr)
+	sid := rc.open(t, time.Minute)
+	sc := findServerConn(t, srv, rc.nc.LocalAddr())
+	me := sc.w.idx
+
+	// Three keys homed on three workers, none of them the conn's owner,
+	// so every named op below crosses a ring.
+	taken := map[string]bool{}
+	kA := nameHomedAt(t, srv, (me+1)%4, taken)
+	kH := nameHomedAt(t, srv, (me+2)%4, taken)
+	kB := nameHomedAt(t, srv, (me+3)%4, taken)
+
+	holder := dial(t, addr)
+	hsid, err := holder.Open(5 * time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := holder.Acquire(hsid, kH, true, 0); err != nil {
+		t.Fatal(err)
+	}
+
+	// One write, five frames spanning three homes. The kH acquire parks
+	// (via a forwarded run executed on its home worker); everything
+	// behind it must wait for the grant, then answer in order. The
+	// not-held release gives frame 4 a distinguishable status, so any
+	// reordering shows up as the wrong status sequence, not just a
+	// count mismatch.
+	rc.write(
+		&wire.Request{Op: wire.OpAcquire, SID: sid, Excl: true, Name: kA},
+		&wire.Request{Op: wire.OpAcquire, SID: sid, Excl: true, Wait: -1, Name: kH},
+		&wire.Request{Op: wire.OpRelease, SID: sid, Excl: true, Name: kA},
+		&wire.Request{Op: wire.OpRelease, SID: sid, Excl: true, Name: kB},
+		&wire.Request{Op: wire.OpKeepAlive, SID: sid, Lease: int64(time.Minute)},
+	)
+
+	// Frame 1 answers immediately; frame 2 parks; frames 3-5 defer.
+	if resp := rc.read(5 * time.Second); resp.Status != wire.StatusOK {
+		t.Fatalf("acquire %s status %d, want OK", kA, resp.Status)
+	}
+	waitForWaiting(t, addr, 1)
+	rc.expectSilence(200 * time.Millisecond)
+
+	if err := holder.Release(hsid, kH, true); err != nil {
+		t.Fatal(err)
+	}
+
+	want := []wire.Status{wire.StatusOK, wire.StatusOK, wire.StatusNotHeld, wire.StatusOK}
+	for i, ws := range want {
+		if resp := rc.read(5 * time.Second); resp.Status != ws {
+			t.Fatalf("deferred response %d status %d, want %d", i, resp.Status, ws)
+		}
+	}
+	rc.expectSilence(200 * time.Millisecond)
+
+	// The ops above really crossed workers: runs were forwarded and
+	// executed remotely (inline donation still counts as a forward).
+	var fwdRuns, fwdIn uint64
+	for _, ws := range srv.WorkerStats() {
+		fwdRuns += ws.FwdRuns
+		fwdIn += ws.FwdIn
+	}
+	if fwdRuns == 0 || fwdIn == 0 {
+		t.Fatalf("no cross-worker forwarding observed (fwd_runs=%d fwd_in=%d)", fwdRuns, fwdIn)
+	}
+}
+
+// TestAffinityOffNoForwarding asserts the -affinity off switch: with
+// NoAffinity every worker executes everything it decodes and the
+// forwarding plane stays untouched.
+func TestAffinityOffNoForwarding(t *testing.T) {
+	addr, srv := startServerCfg(t, testCfg(), Config{Workers: 4, NoAffinity: true})
+	if srv.Affinity() {
+		t.Fatal("affinity should be off")
+	}
+	c := dial(t, addr)
+	sid, err := c.Open(5 * time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 32; i++ {
+		name := fmt.Sprintf("k-%d", i)
+		if err := c.Acquire(sid, name, true, 0); err != nil {
+			t.Fatal(err)
+		}
+		if err := c.Release(sid, name, true); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for _, ws := range srv.WorkerStats() {
+		if ws.FwdRuns != 0 || ws.FwdIn != 0 {
+			t.Fatalf("worker %d forwarded with affinity off: %+v", ws.Worker, ws)
+		}
+	}
+}
+
+// TestForwardDrainCondemnHammer is the -race stress for the forwarding
+// plane against connection lifecycle: many connections pipeline
+// cross-worker op mixes over a tiny keyspace (forcing forwarded runs,
+// parks, and contention) while some streams are cut mid-flight
+// (condemn/RST paths) and the rest drain cleanly through Shutdown. Run
+// it under -race at GOMAXPROCS>=4 to hunt ring and drain ordering
+// races; the assertions are liveness (every surviving request answers)
+// and a clean global drain.
+func TestForwardDrainCondemnHammer(t *testing.T) {
+	mcfg := testCfg()
+	mcfg.Shards = 16
+	addr, _ := startServerCfg(t, mcfg, Config{Workers: 4})
+
+	const clients = 8
+	const iters = 60
+	var wg sync.WaitGroup
+	for g := 0; g < clients; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(int64(g) * 7919))
+			if g%4 == 3 {
+				// Rude client: pipeline a burst, then slam the socket shut
+				// without reading a single response. The bogus SID keeps it
+				// from mutating real sessions' lock state — every acquire
+				// still routes through its home worker before failing.
+				nc, err := net.Dial("tcp", addr)
+				if err != nil {
+					return
+				}
+				var buf []byte
+				buf, _ = wire.AppendRequestFrame(buf, &wire.Request{Op: wire.OpOpen, Lease: int64(time.Minute)})
+				for i := 0; i < iters; i++ {
+					buf, _ = wire.AppendRequestFrame(buf, &wire.Request{
+						Op: wire.OpAcquire, SID: 1 << 60, Excl: true, Name: fmt.Sprintf("h-%d", rng.Intn(8))})
+				}
+				nc.Write(buf)
+				time.Sleep(time.Duration(rng.Intn(10)) * time.Millisecond)
+				nc.Close()
+				return
+			}
+			c, err := client.Dial(addr)
+			if err != nil {
+				t.Errorf("client %d dial: %v", g, err)
+				return
+			}
+			defer c.Close()
+			sid, err := c.Open(time.Minute)
+			if err != nil {
+				t.Errorf("client %d open: %v", g, err)
+				return
+			}
+			for i := 0; i < iters; i++ {
+				name := fmt.Sprintf("h-%d", rng.Intn(8))
+				excl := rng.Intn(4) != 0
+				if err := c.Acquire(sid, name, excl, time.Second); err != nil {
+					t.Errorf("client %d acquire %s: %v", g, name, err)
+					return
+				}
+				if err := c.Release(sid, name, excl); err != nil {
+					t.Errorf("client %d release %s: %v", g, name, err)
+					return
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	// Shutdown (with its global drain-exit condition) runs in cleanup
+	// and asserts Serve returns; a forwarding-vs-drain deadlock shows up
+	// there as the 10s watchdog firing.
+}

@@ -1,0 +1,166 @@
+package server
+
+import (
+	"io"
+	"net"
+	"runtime"
+	"sync"
+	"testing"
+	"time"
+
+	"fairrw/internal/lockmgr"
+	"fairrw/internal/lockmgr/wire"
+)
+
+// quietCfg is a manager config with every background period pushed out
+// past the test's lifetime, so the sweeper cannot allocate (or collect
+// the lock entry under test) while AllocsPerRun is counting mallocs —
+// the counter is process-global, not per-goroutine.
+func quietCfg() lockmgr.Config {
+	return lockmgr.Config{
+		Shards:        8,
+		SweepInterval: time.Hour,
+		DefaultLease:  time.Hour,
+		MaxLease:      time.Hour,
+		IdleTTL:       time.Hour,
+	}
+}
+
+// TestForwardRoundTripAllocs pins the steady-state forward→execute→
+// reap round trip at zero allocations: parse a foreign run, push it
+// through the home worker's ring via the inline-donation path, and
+// encode the completed responses — all without a single malloc. This is
+// the affinity tentpole's hot path; an allocation here is paid once per
+// cross-worker run at saturation.
+//
+// The test is the loop: it holds the source worker's loopMu for the
+// duration (being the loop, exactly as a donating reader goroutine
+// would) and drives parseConn/reapFwd directly against a fabricated
+// conn, so the whole trip runs synchronously on this goroutine.
+func TestForwardRoundTripAllocs(t *testing.T) {
+	srv := NewWithConfig(lockmgr.New(quietCfg()), Config{Workers: 2})
+	defer srv.Shutdown(time.Second)
+	if !srv.Affinity() || srv.Workers() != 2 {
+		t.Fatalf("want 2 workers with affinity, got %d affinity=%v", srv.Workers(), srv.Affinity())
+	}
+	sid, err := srv.m.Open(time.Hour)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// A name homed on worker 1, parsed by worker 0: every op forwards.
+	var name string
+	for i := 0; ; i++ {
+		name = "fwd-alloc-" + string(rune('a'+i%26)) + string(rune('a'+i/26))
+		if srv.owner[srv.m.ShardIndex([]byte(name))] == 1 {
+			break
+		}
+	}
+
+	var frames []byte
+	frames, _ = wire.AppendRequestFrame(frames, &wire.Request{Op: wire.OpAcquire, SID: sid, Excl: true, Name: name})
+	frames, _ = wire.AppendRequestFrame(frames, &wire.Request{Op: wire.OpRelease, SID: sid, Excl: true, Name: name})
+
+	src := srv.workers[0]
+	c := &conn{id: 1, w: src}
+	c.cond = sync.NewCond(&c.mu)
+	wb := wire.GetBuffer()
+	c.wb, c.wbuf = wb, wb.B
+
+	src.loopMu.Lock()
+	defer src.loopMu.Unlock()
+
+	trip := func() {
+		c.pending = append(c.pending[:0], frames...)
+		c.parsePos = 0
+		src.parseConn(c) // builds the run, dispatches, usually donates inline
+		for c.fwd.state.Load() != fwdDone {
+			runtime.Gosched() // home loop was busy; it will nudge via its own cycle
+		}
+		src.reapFwd() // finishRun: encode both responses into c.wbuf
+		if len(c.wbuf) == 0 {
+			t.Fatal("no responses encoded")
+		}
+		c.wbuf = c.wbuf[:0]
+		c.inReady = false
+		src.ready = src.ready[:0]
+	}
+	for i := 0; i < 64; i++ {
+		trip() // warm: run record, batch scratch, wbuf, conn registration
+	}
+	if allocs := testing.AllocsPerRun(100, trip); allocs != 0 {
+		t.Fatalf("forward round trip allocates %.1f times per op run, want 0", allocs)
+	}
+	fwd := src.st.fwdRuns.Load()
+	if fwd == 0 {
+		t.Fatal("runs were not forwarded")
+	}
+	if fb := src.st.fwdFallbacks.Load(); fb != 0 {
+		t.Fatalf("%d runs fell back to local execution", fb)
+	}
+}
+
+// TestWritevFlushPassAllocs pins one flusher writev pass — take the
+// queued chunks, one net.Buffers WriteTo, release the pooled owners —
+// at zero allocations in steady state. The peer drains continuously so
+// no pass ever escalates.
+func TestWritevFlushPassAllocs(t *testing.T) {
+	srv := NewWithConfig(lockmgr.New(quietCfg()), Config{Workers: 1, FlushPass: time.Second})
+	defer srv.Shutdown(time.Second)
+
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ln.Close()
+	accepted := make(chan net.Conn, 1)
+	go func() {
+		nc, err := ln.Accept()
+		if err == nil {
+			accepted <- nc
+		}
+	}()
+	peer, err := net.Dial("tcp", ln.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer peer.Close()
+	go io.Copy(io.Discard, peer) // the healthy reader: writevs never stall
+	var nc net.Conn
+	select {
+	case nc = <-accepted:
+	case <-time.After(5 * time.Second):
+		t.Fatal("accept timed out")
+	}
+	defer nc.Close()
+
+	w := srv.workers[0]
+	f := w.fl
+	c := &conn{id: 1, nc: nc, w: w}
+	c.cond = sync.NewCond(&c.mu)
+
+	var chunk [256]byte // one coalesced response chunk's worth of bytes
+	pass := func() {
+		wb := wire.GetBuffer()
+		wb.B = append(wb.B, chunk[:]...)
+		c.outBytes.Add(int64(len(wb.B)))
+		c.fmu.Lock()
+		c.outq = append(c.outq, wb.B)
+		c.outb = append(c.outb, wb)
+		c.fqueued = true // we are the single servicer for this conn
+		c.fmu.Unlock()
+		f.service(c)
+		if c.writeFailed.Load() {
+			t.Fatal("writev pass condemned the conn")
+		}
+	}
+	for i := 0; i < 64; i++ {
+		pass() // warm: deadline timer, iovec cache, double-buffer arrays
+	}
+	if allocs := testing.AllocsPerRun(100, pass); allocs != 0 {
+		t.Fatalf("writev flush pass allocates %.1f times, want 0", allocs)
+	}
+	if esc := f.escalations.Load(); esc != 0 {
+		t.Fatalf("%d passes escalated against a draining peer", esc)
+	}
+}

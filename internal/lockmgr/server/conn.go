@@ -3,8 +3,9 @@ package server
 import (
 	"net"
 	"sync"
-	"time"
+	"sync/atomic"
 
+	"fairrw/internal/lockmgr"
 	"fairrw/internal/lockmgr/wire"
 )
 
@@ -13,6 +14,14 @@ import (
 // parked acquire — the reader goroutine stops reading, which is exactly
 // TCP backpressure: the client's writes eventually block too.
 const maxInbox = 256 << 10
+
+// maxOutq bounds the response bytes queued at the flusher for one conn.
+// Past it the worker stops parsing the conn (wblocked), the inbox fills
+// behind the paused parse, the reader blocks, and TCP backpressure
+// reaches the client — the same cascade maxInbox provides on the read
+// side. Without this, a client that streams requests but never reads
+// responses would grow the flusher queue without bound.
+const maxOutq = 256 << 10
 
 // readChunk is the reader's per-syscall buffer. 16 KiB swallows a deep
 // pipeline of requests (a request frame is at most 4+1052 bytes) in one
@@ -41,19 +50,66 @@ type conn struct {
 	closed bool       // worker dropped the conn; reader must not block
 
 	// Worker-owned state; no other goroutine touches these.
-	pending   []byte       // unparsed frame bytes (inbox is appended here)
-	parsePos  int          // parse cursor into pending
-	wb        *wire.Buffer // pooled backing store for wbuf
-	wbuf      []byte       // encoded responses awaiting the wakeup's flush
-	parked    bool         // a blocking acquire is in flight for this conn
-	statsWant bool         // parse stopped at an OpStats frame
-	dead      bool         // connection condemned; cleanup pending
-	removed   bool         // retired from the worker; ignore late events
-	eofSeen   bool         // worker has observed the reader's eof
-	inReady   bool         // already collected into the worker's ready set
-	flushMark bool         // wbuf touched this wakeup; flush before sleeping
-	wdlArmed  time.Time    // when the write deadline was last armed
+	pending     []byte       // unparsed frame bytes (inbox is appended here)
+	parsePos    int          // parse cursor into pending
+	wb          *wire.Buffer // pooled backing store for wbuf
+	wbuf        []byte       // encoded responses awaiting the wakeup's flush
+	parked      bool         // a blocking acquire is in flight for this conn
+	statsWant   bool         // parse stopped at an OpStats frame
+	dead        bool         // connection condemned; cleanup pending
+	removed     bool         // retired from the worker; ignore late events
+	eofSeen     bool         // worker has observed the reader's eof
+	inReady     bool         // already collected into the worker's ready set
+	flushMark   bool         // wbuf touched this wakeup; flush before sleeping
+	fwdInFlight bool         // a forwarded run is at its home worker
+	wblocked    bool         // flusher backlog over maxOutq; parse paused
+
+	// fwd is the conn's forwarding record: the payload behind a *conn
+	// pushed onto a home worker's opRing. The source worker fills ops
+	// and ends and publishes state=fwdPending; the home worker executes,
+	// writes Err/OutSID back into ops in place, and publishes
+	// state=fwdDone; the source reaps it on its next wakeup. One record
+	// per conn suffices because per-conn order admits at most one
+	// outstanding run.
+	fwd fwdRun
+
+	// Flusher handoff, guarded by fmu (worker appends, flusher drains).
+	fmu          sync.Mutex
+	outq         [][]byte       // response chunks awaiting writev, in order
+	outb         []*wire.Buffer // pooled owners of outq's chunks
+	outqAlt      [][]byte       // double-buffer: the array the flusher is draining
+	outbAlt      []*wire.Buffer
+	fqueued      bool // conn is queued at (or being serviced by) the flusher
+	closeOnFlush bool // worker dropped the conn; flusher closes after draining
+	fdropped     bool // flusher-side retirement: discard further chunks
+
+	// wv is the flusher's writev view for the pass in progress. It lives
+	// on the conn (already heap-allocated) rather than the stack because
+	// net.Buffers.WriteTo takes a pointer receiver through the
+	// buffersWriter interface — a stack-local header would escape and
+	// cost one allocation per writev pass. Owned by whichever goroutine
+	// is servicing the conn (flusher or its escalation).
+	wv net.Buffers
+
+	outBytes    atomic.Int64 // bytes in outq not yet written (worker reads for wblocked)
+	writeFailed atomic.Bool  // flusher hit a write error; worker must condemn
 }
+
+// fwdRun carries one run of consecutive same-home ops from the worker
+// that decoded them to the worker that owns their shard. ends[i] is the
+// parse cursor just past ops[i]'s frame, so the source can park exactly
+// at a would-block acquire when it reaps the completed run.
+type fwdRun struct {
+	state atomic.Uint32 // fwdFree → fwdPending (source) → fwdDone (home)
+	ops   []lockmgr.BatchOp
+	ends  []int
+}
+
+const (
+	fwdFree    = 0
+	fwdPending = 1
+	fwdDone    = 2
+)
 
 // readLoop is the reader goroutine: blocking (netpoller-driven) reads
 // into inbox, waking the owning worker whenever new bytes land. It
@@ -110,15 +166,17 @@ func (c *conn) readLoop() {
 }
 
 // take moves the inbox into the worker's pending buffer. Worker only.
-// While the conn is parked the transfer is skipped: pending must not
-// grow behind a blocking acquire (which can hold it for a full lease),
-// so the bytes stay in the inbox until it hits maxInbox and the reader
-// blocks — that is where the backpressure bound lives. queued is still
-// cleared so the reader re-enqueues on later reads and no wakeup is
-// lost; unpark's own noteReady drains whatever accumulated.
+// While the conn is parked (or its flusher backlog is over maxOutq) the
+// transfer is skipped: pending must not grow behind a blocking acquire
+// (which can hold it for a full lease) or behind a peer that is not
+// reading responses, so the bytes stay in the inbox until it hits
+// maxInbox and the reader blocks — that is where the backpressure bound
+// lives. queued is still cleared so the reader re-enqueues on later
+// reads and no wakeup is lost; unpark's (or the flusher-drain nudge's)
+// own noteReady drains whatever accumulated.
 func (c *conn) take() (eof bool) {
 	c.mu.Lock()
-	if len(c.inbox) > 0 && !c.parked {
+	if len(c.inbox) > 0 && !c.parked && !c.wblocked {
 		c.pending = append(c.pending, c.inbox...)
 		c.inbox = c.inbox[:0]
 		c.cond.Signal()
@@ -131,8 +189,12 @@ func (c *conn) take() (eof bool) {
 
 // compact drops the consumed prefix of pending. Called only after the
 // batch referencing pending's bytes has been executed and encoded.
+// While a forwarded run is in flight the home worker still reads op
+// names that alias pending's backing array, so the in-place copy-down
+// must wait (appends are fine — they leave the old array intact — but
+// compaction is destructive).
 func (c *conn) compact() {
-	if c.parsePos == 0 {
+	if c.parsePos == 0 || c.fwdInFlight {
 		return
 	}
 	n := copy(c.pending, c.pending[c.parsePos:])

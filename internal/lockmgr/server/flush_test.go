@@ -1,0 +1,96 @@
+package server
+
+import (
+	"net"
+	"testing"
+	"time"
+
+	"fairrw/internal/lockmgr/wire"
+)
+
+// TestStalledPeerDoesNotBlockOthers is the regression for the flusher
+// stage's reason to exist: a peer with a zero receive window (it simply
+// stops reading) must not delay other connections on the same worker by
+// more than one flusher pass. The stalled conn's writev pass hits the
+// FlushPass deadline, escalates to a dedicated writer goroutine, and
+// the worker + flusher keep servicing everyone else at full speed.
+//
+// Before the flusher stage, the worker wrote each conn's responses
+// inline under loopMu — one stalled socket froze every conn the worker
+// owned for up to WriteTimeout.
+func TestStalledPeerDoesNotBlockOthers(t *testing.T) {
+	mcfg := testCfg()
+	addr, srv := startServerCfg(t, mcfg, Config{
+		Workers:   1, // both conns share the one worker and its flusher
+		FlushPass: 5 * time.Millisecond,
+	})
+
+	// The stalled peer: open a session, shrink both socket buffers so a
+	// modest response backlog overfills the pipe, then flood keepalives
+	// and never read another byte.
+	stall := dialRaw(t, addr)
+	ssid := stall.open(t, time.Minute)
+	if tc, ok := stall.nc.(*net.TCPConn); ok {
+		tc.SetReadBuffer(2048)
+	}
+	sc := findServerConn(t, srv, stall.nc.LocalAddr())
+	if tc, ok := sc.nc.(*net.TCPConn); ok {
+		tc.SetWriteBuffer(2048)
+	}
+
+	var burst []byte
+	for i := 0; i < 4000; i++ {
+		var err error
+		burst, err = wire.AppendRequestFrame(burst, &wire.Request{
+			Op: wire.OpKeepAlive, SID: ssid, Lease: int64(time.Minute)})
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, err := stall.nc.Write(burst); err != nil {
+		t.Fatalf("flood write: %v", err)
+	}
+
+	// Wait until the flusher has actually given up on the stalled conn
+	// at least once (pass deadline hit → escalation).
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		var esc uint64
+		for _, ws := range srv.WorkerStats() {
+			esc += ws.FlushEscalations
+		}
+		if esc > 0 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("flusher never escalated past the stalled conn")
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+
+	// A healthy conn on the same worker must still get synchronous
+	// round trips, fast. 20 acquire/release pairs through the shared
+	// worker and flusher should take milliseconds; anything near
+	// WriteTimeout means the stalled peer is still gating the loop.
+	c := dial(t, addr)
+	sid, err := c.Open(5 * time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	start := time.Now()
+	for i := 0; i < 20; i++ {
+		if err := c.Acquire(sid, "healthy", true, 0); err != nil {
+			t.Fatalf("acquire: %v", err)
+		}
+		if err := c.Release(sid, "healthy", true); err != nil {
+			t.Fatalf("release: %v", err)
+		}
+	}
+	if d := time.Since(start); d > 2*time.Second {
+		t.Fatalf("healthy conn took %v for 20 round trips behind a stalled peer", d)
+	}
+
+	// Unblock cleanup: killing the stalled socket fails its escalated
+	// write, condemning the conn, so Shutdown's drain is immediate.
+	stall.nc.Close()
+}

@@ -1,0 +1,100 @@
+package server
+
+import "sync/atomic"
+
+// opRing is the cross-worker forwarding channel: a bounded MPSC ring of
+// *conn, one per worker, carrying runs of ops that decoded on a foreign
+// worker but hash-home here. It is the software analogue of the paper's
+// per-memory-controller request network — each lock name has exactly
+// one home bank, and requests travel to it instead of every requester
+// contending on a shared structure.
+//
+// The design is the classic bounded MPMC queue with per-slot sequence
+// numbers (used single-consumer here): producers claim a slot by CAS on
+// tail, publish by storing seq = tail+1; the consumer observes the
+// publish via the slot's seq, never by tail, so a producer that claimed
+// but has not yet published simply makes pop return nil until it does.
+// push never blocks — a full ring returns false and the sender executes
+// the run locally (correctness never depends on forwarding, only the
+// shard-affinity win does).
+//
+// Entries are bare *conn pointers: the run payload (ops, frame ends,
+// completion state) lives in the conn's fwd record, so forwarding a run
+// moves one pointer through one cache line and allocates nothing.
+type opRing struct {
+	_     [64]byte // keep head/tail off the allocator's neighbours
+	head  atomic.Uint64
+	_     [56]byte
+	tail  atomic.Uint64
+	_     [56]byte
+	slots []ringSlot
+	mask  uint64
+}
+
+// ringSlot is one ring entry, padded to a cache line so neighbouring
+// slots' seq words never false-share under concurrent producers.
+type ringSlot struct {
+	seq atomic.Uint64
+	c   *conn
+	_   [48]byte
+}
+
+// opRingSize is each worker's inbound run capacity. A run is at least
+// one op and sources park the conn until it completes, so depth is
+// bounded by (conns × 1) in practice; 1024 slots make overflow a
+// pathology counter, not a steady-state path.
+const opRingSize = 1024
+
+func newOpRing() *opRing {
+	r := &opRing{slots: make([]ringSlot, opRingSize), mask: opRingSize - 1}
+	for i := range r.slots {
+		r.slots[i].seq.Store(uint64(i))
+	}
+	return r
+}
+
+// push publishes c's forwarded run to the ring. Multiple producers may
+// race; returns false when the ring is full.
+func (r *opRing) push(c *conn) bool {
+	for {
+		t := r.tail.Load()
+		s := &r.slots[t&r.mask]
+		seq := s.seq.Load()
+		switch {
+		case seq == t:
+			if r.tail.CompareAndSwap(t, t+1) {
+				s.c = c
+				s.seq.Store(t + 1)
+				return true
+			}
+		case seq < t:
+			return false // consumer hasn't freed this slot: full
+		}
+		// seq > t: another producer won the slot; reload tail and retry.
+	}
+}
+
+// pop takes the next published run, or nil. Single consumer: only the
+// home worker (whoever holds its loopMu) calls this.
+func (r *opRing) pop() *conn {
+	h := r.head.Load()
+	s := &r.slots[h&r.mask]
+	if s.seq.Load() != h+1 {
+		return nil // empty, or the next producer hasn't published yet
+	}
+	c := s.c
+	s.c = nil
+	s.seq.Store(h + r.mask + 1)
+	r.head.Store(h + 1)
+	return c
+}
+
+// depth is the admin plane's gauge: published-but-unconsumed runs. It
+// is racy by nature (a scrape, not a synchronization point).
+func (r *opRing) depth() uint64 {
+	t, h := r.tail.Load(), r.head.Load()
+	if t < h {
+		return 0
+	}
+	return t - h
+}

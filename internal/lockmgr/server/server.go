@@ -30,10 +30,24 @@ import (
 
 // Config tunes the runtime. The zero value is ready to use.
 type Config struct {
-	// Workers is the number of event loops. Default GOMAXPROCS.
+	// Workers is the number of event loops. Default GOMAXPROCS. With
+	// affinity on (the default) the count is rounded down to a power of
+	// two and capped at the manager's shard count, so the power-of-two
+	// shard space partitions exactly across workers.
 	Workers int
-	// WriteTimeout bounds each coalesced response write. Default 10s.
+	// NoAffinity disables shard→worker ownership: every worker executes
+	// every op it decodes, taking whatever shard mutexes the batch
+	// needs (the pre-affinity behaviour, and the automatic mode at one
+	// worker, where routing would be a no-op).
+	NoAffinity bool
+	// WriteTimeout bounds the total time a conn's escalated write may
+	// take before the conn is condemned. Default 10s.
 	WriteTimeout time.Duration
+	// FlushPass bounds one flusher writev pass. A conn that cannot
+	// absorb its backlog within this budget escalates to a dedicated
+	// writer goroutine so the worker's other conns wait at most one
+	// pass behind a stalled peer. Default 20ms.
+	FlushPass time.Duration
 	// Recorder, when non-nil, receives the server-side grant-path
 	// flight events (park, unpark, connection condemn/drain), keyed by
 	// worker index so each event loop writes its own ring. Share it
@@ -49,6 +63,9 @@ func (c *Config) fill() {
 	if c.WriteTimeout <= 0 {
 		c.WriteTimeout = 10 * time.Second
 	}
+	if c.FlushPass <= 0 {
+		c.FlushPass = 20 * time.Millisecond
+	}
 }
 
 // Server serves one Manager over TCP.
@@ -58,6 +75,11 @@ type Server struct {
 	rec *introspect.Recorder // alias of cfg.Recorder (nil = disabled)
 
 	workers []*worker
+	// owner maps manager shard index → home worker index, the
+	// shard-affinity partition (the paper's lock-address → LRT-bank
+	// mapping in software). nil when affinity is off or there is only
+	// one worker; then every op is local to whichever worker decodes it.
+	owner   []int32
 	drainCh chan struct{} // closed once by Shutdown; observed by workers
 	wg      sync.WaitGroup
 
@@ -75,9 +97,23 @@ func New(m *lockmgr.Manager) *Server {
 	return NewWithConfig(m, Config{})
 }
 
-// NewWithConfig wraps m in a Server and starts its worker loops.
+// NewWithConfig wraps m in a Server and starts its worker loops and
+// their flusher stages.
 func NewWithConfig(m *lockmgr.Manager, cfg Config) *Server {
 	cfg.fill()
+	if !cfg.NoAffinity {
+		// Exact partitioning needs workers to divide the power-of-two
+		// shard count: round down to a power of two and cap at the shard
+		// count. (6 workers → 4; never below 1.)
+		w := 1
+		for w*2 <= cfg.Workers {
+			w *= 2
+		}
+		if sc := m.ShardCount(); w > sc {
+			w = sc
+		}
+		cfg.Workers = w
+	}
 	s := &Server{
 		m:       m,
 		cfg:     cfg,
@@ -89,9 +125,16 @@ func NewWithConfig(m *lockmgr.Manager, cfg Config) *Server {
 	for i := range s.workers {
 		s.workers[i] = newWorker(s, i)
 	}
-	s.wg.Add(len(s.workers))
+	if !cfg.NoAffinity && cfg.Workers > 1 {
+		s.owner = make([]int32, m.ShardCount())
+		for si := range s.owner {
+			s.owner[si] = int32(si % cfg.Workers)
+		}
+	}
+	s.wg.Add(2 * len(s.workers))
 	for _, w := range s.workers {
 		go w.run()
+		go w.fl.run()
 	}
 	return s
 }
@@ -151,11 +194,37 @@ func (s *Server) Serve(ln net.Listener) error {
 // Workers reports the number of event loops the server runs.
 func (s *Server) Workers() int { return len(s.workers) }
 
-// removeConn forgets a connection retired by its worker.
+// Affinity reports whether shard→worker ownership routing is active.
+func (s *Server) Affinity() bool { return s.owner != nil }
+
+// connsEmpty reports whether every connection on the server has been
+// retired. This is the workers' drain-exit condition: with affinity on,
+// a worker whose own conns are gone may still be the shard home for
+// runs forwarded by peers whose conns are not.
+func (s *Server) connsEmpty() bool {
+	s.mu.Lock()
+	n := len(s.conns)
+	s.mu.Unlock()
+	return n == 0
+}
+
+// removeConn forgets a connection retired by its worker. When the last
+// conn goes during a drain, every worker is nudged into its exit check
+// — a worker with no conns of its own has no event left to wake it.
 func (s *Server) removeConn(c *conn) {
 	s.mu.Lock()
 	delete(s.conns, c)
+	empty := len(s.conns) == 0
+	draining := s.draining
 	s.mu.Unlock()
+	if draining && empty {
+		for _, w := range s.workers {
+			select {
+			case w.q <- nil:
+			default: // a full queue means pending events will wake it anyway
+			}
+		}
+	}
 }
 
 // Shutdown gracefully drains the server: stop accepting, close the

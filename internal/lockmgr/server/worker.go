@@ -23,18 +23,12 @@ type injection struct {
 	hash uint32 // lock-name hash, for the flight recorder
 }
 
-// flushStallThreshold classifies a response write as stalled: a loopback
-// or LAN socket absorbs a coalesced burst in microseconds, so a write
-// this slow means the peer's receive window closed (or the scheduler
-// preempted the loop) — the head-of-line risk flush's comment documents,
-// now countable instead of invisible.
-const flushStallThreshold = time.Millisecond
-
 // wstats are one worker's event-loop counters, the live half of the
 // observability plane. They are written by whoever holds loopMu (plus
-// the reader goroutines for backpressure) and read by the admin scraper
-// without stopping the loop, hence atomics; the pad keeps one worker's
-// counter block from false-sharing with its neighbour's.
+// the reader goroutines for backpressure and the flusher for stall
+// accounting) and read by the admin scraper without stopping the loop,
+// hence atomics; the pad keeps one worker's counter block from
+// false-sharing with its neighbour's.
 type wstats struct {
 	wakeups      atomic.Uint64 // dedicated-goroutine loop cycles
 	donations    atomic.Uint64 // cycles run inline on a reader goroutine
@@ -44,40 +38,66 @@ type wstats struct {
 	unparks      atomic.Uint64 // grant completions injected back
 	condemned    atomic.Uint64 // conns condemned (malformed frame, write error)
 	drained      atomic.Uint64 // conns retired cleanly at EOF
-	flushes      atomic.Uint64 // coalesced response writes
-	flushStalls  atomic.Uint64 // writes slower than flushStallThreshold
-	flushStallNS atomic.Uint64 // time spent inside stalled writes
+	flushes      atomic.Uint64 // coalesced chunks handed to the flusher
+	flushStalls  atomic.Uint64 // flusher passes that exceeded FlushPass
+	flushStallNS atomic.Uint64 // time spent inside escalated writes
 	backpressure atomic.Uint64 // reader blocked on the full-inbox bound
+	homeOps      atomic.Uint64 // named ops that decoded on their home worker
+	fwdRuns      atomic.Uint64 // runs forwarded to a peer's op ring
+	fwdOps       atomic.Uint64 // ops summed over those runs
+	fwdIn        atomic.Uint64 // foreign ops this worker executed for peers
+	fwdInline    atomic.Uint64 // peer cycles run inline right after a forward
+	fwdFallbacks atomic.Uint64 // runs executed locally (ring full / draining)
+	outBlocked   atomic.Uint64 // times a conn's parse paused on maxOutq
 	conns        atomic.Int64  // connections currently owned
-	_            [24]byte
+	_            [32]byte
+}
+
+// fwdSeg maps a slice of this worker's batch back to the foreign run it
+// came from, so results can be copied into the source conn's fwd record
+// after ExecBatch.
+type fwdSeg struct {
+	c     *conn
+	start int
+	n     int
 }
 
 // worker is one event loop. It owns a set of connections outright;
 // whoever holds loopMu is the loop at that moment — the only party that
-// parses their buffers, executes their requests, and writes their
-// sockets. One wakeup drains every event queued since the last one,
-// decodes all ready connections into a single lockmgr batch, executes
-// it with the shards locked once per batch, encodes the responses, and
-// flushes each touched connection with exactly one write.
+// parses their buffers and executes their requests. One wakeup drains
+// every event queued since the last one, decodes all ready connections
+// into a single lockmgr batch, executes it with the shards locked once
+// per batch, encodes the responses, and hands each touched connection's
+// coalesced bytes to the worker's flusher stage (socket writes never
+// happen under loopMu).
+//
+// With affinity on, the worker is also a shard home: lock names hash to
+// shards and shards partition across workers (the paper's
+// per-memory-controller LRT banks in software), so a worker decoding an
+// op whose shard lives elsewhere forwards a run of such ops through the
+// home's opRing instead of taking the foreign shard mutex itself. In
+// steady state each shard mutex is only ever taken by its home worker's
+// batches — uncontended except for parked continuations.
 //
 // The loop has two executors. The dedicated goroutine (run) blocks on
 // the event channels and is the fallback that guarantees liveness. On
 // top of it, a reader that lands new bytes donates its own goroutine
-// when loopMu is free (donate), running the identical drain-and-process
-// cycle inline. In steady state with staggered arrivals this removes
-// the reader-to-worker handoff entirely — one goroutine reads,
-// executes, and writes, as a thread-per-connection server would — while
-// bursts that arrive during someone else's cycle still pile up in the
-// queue and get batched across connections on the next pass.
+// when loopMu is free (donate), and a worker that just forwarded a run
+// donates its goroutine to the idle home loop the same way (dispatch),
+// so the cross-worker hop costs a function call, not a context switch,
+// whenever the home is free.
 type worker struct {
 	srv  *Server
 	idx  int            // worker index, the admin plane's `worker` label
 	q    chan *conn     // readiness: conn has new bytes (or hit EOF); nil = recheck exit
 	injq chan injection // grant completions from parked continuations
+	note chan struct{}  // coalesced cross-worker nudge: ring or completions pending
 	dead chan struct{}  // closed when the worker exits (unblocks senders)
+	ring *opRing        // runs forwarded to this worker (it is their shard home)
+	fl   *flusher       // this worker's write stage
 
-	st   wstats
-	bhMu sync.Mutex      // guards batchH against the admin scraper
+	st     wstats
+	bhMu   sync.Mutex      // guards batchH against the admin scraper
 	batchH stats.Histogram // ops per executed batch
 
 	loopMu sync.Mutex // held by whoever is being the loop
@@ -88,26 +108,36 @@ type worker struct {
 
 	sc      *lockmgr.BatchScratch
 	ops     []lockmgr.BatchOp
-	opConn  []*conn // opConn[i] owns ops[i]
-	opEnd   []int   // parse cursor just past ops[i]'s frame
-	ready   []*conn // conns to service this wakeup
-	statsCs []*conn // conns whose parse stopped at an OpStats frame
+	opConn  []*conn  // opConn[i] owns ops[i] (local ops only)
+	opEnd   []int    // parse cursor just past ops[i]'s frame (local ops only)
+	ready   []*conn  // conns to service this wakeup
+	statsCs []*conn  // conns whose parse stopped at an OpStats frame
+	fwdWait []*conn  // source side: conns with a run in flight at a peer
+	fwdExec []*conn  // home side: runs popped from the ring this round
+	segs    []fwdSeg // home side: batch segments owned by foreign runs
 }
 
 func newWorker(s *Server, idx int) *worker {
-	return &worker{
+	w := &worker{
 		srv:   s,
 		idx:   idx,
 		q:     make(chan *conn, 256),
 		injq:  make(chan injection, 256),
+		note:  make(chan struct{}, 1),
 		dead:  make(chan struct{}),
+		ring:  newOpRing(),
 		conns: make(map[*conn]struct{}),
 		sc:    s.m.NewBatchScratch(),
 	}
+	w.fl = newFlusher(w)
+	return w
 }
 
 // run is the fallback loop executor: block for one event, take the
-// loop, drain everything queued, process it as one batch, flush, sleep.
+// loop, drain everything queued, process it as one batch, sleep. The
+// exit condition is global — every connection on the server retired —
+// not local: with affinity on, a worker with no conns of its own may
+// still be the shard home for runs forwarded by peers that do.
 func (w *worker) run() {
 	defer func() {
 		close(w.dead)
@@ -116,7 +146,7 @@ func (w *worker) run() {
 	drainCh := w.srv.drainCh
 	for {
 		w.loopMu.Lock()
-		exit := w.draining && len(w.conns) == 0
+		exit := w.draining && w.srv.connsEmpty()
 		w.loopMu.Unlock()
 		if exit {
 			return
@@ -133,6 +163,12 @@ func (w *worker) run() {
 			w.st.wakeups.Add(1)
 			w.loopMu.Lock()
 			w.unpark(inj)
+			w.drainEvents()
+			w.process()
+			w.loopMu.Unlock()
+		case <-w.note:
+			w.st.wakeups.Add(1)
+			w.loopMu.Lock()
 			w.drainEvents()
 			w.process()
 			w.loopMu.Unlock()
@@ -160,6 +196,27 @@ func (w *worker) donate(c *conn) bool {
 	return true
 }
 
+// nudge delivers a coalesced cross-worker wakeup (ring push or run
+// completion). Never blocks: a full note channel means a wakeup is
+// already pending and the receiver will find this event too.
+func (w *worker) nudge() {
+	select {
+	case w.note <- struct{}{}:
+	default:
+	}
+}
+
+// wake re-delivers a conn to its worker from outside the loop (the
+// flusher, after draining a write-blocked conn's backlog or condemning
+// it on a write error). Blocking is fine here — the callers are
+// dedicated goroutines and the worker never waits on them in return.
+func (w *worker) wake(c *conn) {
+	select {
+	case w.q <- c:
+	case <-w.dead:
+	}
+}
+
 // drainEvents consumes every queued event without blocking.
 func (w *worker) drainEvents() {
 	for {
@@ -168,6 +225,8 @@ func (w *worker) drainEvents() {
 			w.noteReady(c)
 		case inj := <-w.injq:
 			w.unpark(inj)
+		case <-w.note:
+			// The ring and completion scans happen every process round.
 		default:
 			return
 		}
@@ -183,6 +242,12 @@ func (w *worker) noteReady(c *conn) {
 	if _, ok := w.conns[c]; !ok {
 		w.conns[c] = struct{}{} // first event doubles as registration
 		w.st.conns.Add(1)
+	}
+	if c.writeFailed.Load() {
+		c.dead = true // the flusher condemned the socket; retire the conn
+	}
+	if c.wblocked && c.outBytes.Load() <= maxOutq {
+		c.wblocked = false // flusher drained the backlog; resume parsing
 	}
 	if c.take() {
 		c.eofSeen = true
@@ -211,10 +276,15 @@ func (w *worker) unpark(inj injection) {
 }
 
 // process services every ready conn: parse → execute → encode rounds
-// until no conn can make progress, then one flush per touched conn and
-// lifecycle cleanup.
+// until no conn can make progress, then one flusher handoff per touched
+// conn and lifecycle cleanup. Each round also reaps completed forwarded
+// runs (ours, back from peers) and takes newly arrived foreign runs
+// (theirs, from our ring) so cross-worker traffic advances at round
+// granularity, not wakeup granularity.
 func (w *worker) process() {
 	for {
+		w.reapFwd()
+		w.takeRing()
 		w.ops = w.ops[:0]
 		w.opConn = w.opConn[:0]
 		w.opEnd = w.opEnd[:0]
@@ -222,6 +292,15 @@ func (w *worker) process() {
 		for _, c := range w.ready {
 			w.parseConn(c)
 		}
+		localN := len(w.ops)
+		w.segs = w.segs[:0]
+		for _, fc := range w.fwdExec {
+			start := len(w.ops)
+			w.ops = append(w.ops, fc.fwd.ops...)
+			w.segs = append(w.segs, fwdSeg{c: fc, start: start, n: len(fc.fwd.ops)})
+			w.st.fwdIn.Add(uint64(len(fc.fwd.ops)))
+		}
+		w.fwdExec = w.fwdExec[:0]
 		if len(w.ops) == 0 && len(w.statsCs) == 0 {
 			break
 		}
@@ -233,7 +312,8 @@ func (w *worker) process() {
 			w.bhMu.Unlock()
 		}
 		w.srv.m.ExecBatch(w.ops, w.sc)
-		w.encode()
+		w.completeForwards()
+		w.encode(localN)
 		for _, c := range w.statsCs {
 			w.answerStats(c)
 		}
@@ -251,34 +331,87 @@ func (w *worker) process() {
 	w.ready = w.ready[:0]
 }
 
-// parseConn decodes complete frames from c's pending buffer into the
-// batch, stopping at a parked acquire, an OpStats frame (executed
-// between batches to keep per-connection order), the first malformed
-// frame (which condemns the stream), or the first incomplete frame.
+// homeOf routes a decoded request: the worker index owning the shard
+// its lock name hashes to, or -1 for ops any worker may execute
+// (session ops, stats, names ExecBatch will reject). With affinity off
+// there are no homes and every op is local.
+func (w *worker) homeOf(req *wire.RawRequest) int {
+	owner := w.srv.owner
+	if owner == nil {
+		return -1
+	}
+	if req.Op != wire.OpAcquire && req.Op != wire.OpRelease {
+		return -1
+	}
+	if len(req.Name) == 0 || len(req.Name) > lockmgr.MaxNameLen {
+		return -1
+	}
+	return int(owner[w.srv.m.ShardIndex(req.Name)])
+}
+
+// parseConn decodes complete frames from c's pending buffer, stopping
+// at a parked acquire, an in-flight forwarded run, a paused
+// write-backlog (wblocked), an OpStats frame (executed between batches
+// to keep per-connection order), the first malformed frame (which
+// condemns the stream), or the first incomplete frame.
+//
+// Routing happens here: an op homed on this worker (or homeless) joins
+// the local batch; a foreign op starts a run — the maximal prefix of
+// consecutive ops with the same home — which dispatch() forwards.
+// Per-conn order admits at most one route per round: local ops parsed
+// this round bar a foreign run from starting (it would execute on the
+// peer before this round's batch runs), and a home switch ends the run.
+// The conn makes one hop per round; pipelined frames behind it stay
+// buffered and re-parse next round, exactly like frames behind a park.
 func (w *worker) parseConn(c *conn) {
 	var req wire.RawRequest
-	for !c.parked && !c.dead && !c.statsWant {
+	runHome := -1
+	localSeen := false
+	for !c.parked && !c.dead && !c.statsWant && !c.fwdInFlight && !c.wblocked {
 		buf := c.pending[c.parsePos:]
 		if len(buf) < 4 {
-			return
+			break
 		}
 		n := int(binary.BigEndian.Uint32(buf))
 		if n == 0 || n > wire.MaxRequestPayload {
 			c.dead = true // flushed responses still go out; then the conn drops
-			return
+			break
 		}
 		if len(buf) < 4+n {
-			return
+			break
 		}
 		if err := wire.DecodeRequestRaw(buf[4:4+n], &req); err != nil {
 			c.dead = true
-			return
+			break
+		}
+		// Route before consuming: a frame that cannot join this round's
+		// batch or run stays buffered for the next round.
+		home := w.homeOf(&req)
+		if home >= 0 && home != w.idx {
+			if localSeen || (runHome >= 0 && runHome != home) {
+				break
+			}
+			runHome = home
+		} else {
+			if home == w.idx {
+				w.st.homeOps.Add(1)
+			}
+			if runHome >= 0 && home >= 0 {
+				break // a home-local op ends the foreign run
+			}
+			// Homeless ops (session management) ride along in whichever
+			// route is active, preserving order without a round-trip of
+			// their own.
 		}
 		c.parsePos += 4 + n
 		if req.Op == wire.OpStats {
+			if runHome >= 0 {
+				c.parsePos -= 4 + n // answer after the run completes
+				break
+			}
 			c.statsWant = true
 			w.statsCs = append(w.statsCs, c)
-			return
+			break
 		}
 		op := lockmgr.BatchOp{Tag: c.id, SID: req.SID, Excl: req.Excl,
 			Wait: req.Wait, Lease: req.Lease, Name: req.Name}
@@ -294,18 +427,145 @@ func (w *worker) parseConn(c *conn) {
 		case wire.OpRelease:
 			op.Kind = lockmgr.BatchRelease
 		}
-		w.ops = append(w.ops, op)
-		w.opConn = append(w.opConn, c)
-		w.opEnd = append(w.opEnd, c.parsePos)
+		if runHome >= 0 {
+			c.fwd.ops = append(c.fwd.ops, op)
+			c.fwd.ends = append(c.fwd.ends, c.parsePos)
+		} else {
+			localSeen = true
+			w.ops = append(w.ops, op)
+			w.opConn = append(w.opConn, c)
+			w.opEnd = append(w.opEnd, c.parsePos)
+		}
+	}
+	if runHome >= 0 && len(c.fwd.ops) > 0 {
+		w.dispatch(c, runHome)
 	}
 }
 
-// encode turns batch results into response frames in each conn's write
-// buffer. A would-block acquire parks here: its continuation goroutine
-// waits FIFO on the lock while the loop moves on, and the conn's parse
-// cursor rewinds so deferred frames re-execute after the grant.
-func (w *worker) encode() {
-	for i := range w.ops {
+// dispatch forwards c's parsed run to its home worker's ring, then — if
+// the home loop is idle — runs the home's cycle inline on this
+// goroutine, the cross-worker form of reader donation: the run
+// executes, completes, and nudges us back without a context switch.
+// When the ring is full or the server is draining, the run executes
+// locally instead; the shard mutexes make that correct, it only forgoes
+// the affinity win.
+func (w *worker) dispatch(c *conn, home int) {
+	b := w.srv.workers[home]
+	c.fwd.state.Store(fwdPending)
+	c.fwdInFlight = true
+	if w.draining || !b.ring.push(c) {
+		c.fwd.state.Store(fwdFree)
+		c.fwdInFlight = false
+		w.st.fwdFallbacks.Add(1)
+		for i := range c.fwd.ops {
+			w.ops = append(w.ops, c.fwd.ops[i])
+			w.opConn = append(w.opConn, c)
+			w.opEnd = append(w.opEnd, c.fwd.ends[i])
+		}
+		c.fwd.ops = c.fwd.ops[:0]
+		c.fwd.ends = c.fwd.ends[:0]
+		return
+	}
+	w.fwdWait = append(w.fwdWait, c)
+	w.st.fwdRuns.Add(1)
+	w.st.fwdOps.Add(uint64(len(c.fwd.ops)))
+	if b.loopMu.TryLock() {
+		w.st.fwdInline.Add(1)
+		b.drainEvents()
+		b.process()
+		b.loopMu.Unlock()
+	} else {
+		b.nudge()
+	}
+}
+
+// takeRing collects runs peers forwarded to this worker since the last
+// round. They join this round's batch as segments and their results are
+// copied back by completeForwards.
+func (w *worker) takeRing() {
+	for {
+		c := w.ring.pop()
+		if c == nil {
+			return
+		}
+		w.fwdExec = append(w.fwdExec, c)
+	}
+}
+
+// completeForwards publishes executed foreign segments back to their
+// source conns: results are copied into the conn's fwd record in place,
+// the record flips to done, and the source worker is nudged to reap it.
+func (w *worker) completeForwards() {
+	for _, sg := range w.segs {
+		c := sg.c
+		res := w.ops[sg.start : sg.start+sg.n]
+		for i := range res {
+			c.fwd.ops[i].Err = res[i].Err
+			c.fwd.ops[i].OutSID = res[i].OutSID
+		}
+		c.fwd.state.Store(fwdDone)
+		c.w.nudge()
+	}
+	w.segs = w.segs[:0]
+}
+
+// reapFwd finalizes runs that came back from their home worker:
+// responses are encoded (or a would-block acquire parks, exactly as it
+// would from a local batch) and the conn rejoins the parse rotation.
+func (w *worker) reapFwd() {
+	if len(w.fwdWait) == 0 {
+		return
+	}
+	keep := w.fwdWait[:0]
+	for _, c := range w.fwdWait {
+		if c.fwd.state.Load() != fwdDone {
+			keep = append(keep, c)
+			continue
+		}
+		w.finishRun(c)
+	}
+	w.fwdWait = keep
+}
+
+// finishRun encodes one completed run's responses in op order. A
+// would-block acquire parks the conn and rewinds its parse cursor to
+// just past the parked op, so frames after it (including the tail of
+// this run, deferred by ExecBatch) re-execute after the grant — the
+// same continuation discipline the local batch path uses.
+func (w *worker) finishRun(c *conn) {
+	c.fwdInFlight = false
+	c.fwd.state.Store(fwdFree)
+	ops, ends := c.fwd.ops, c.fwd.ends
+	for i := range ops {
+		op := &ops[i]
+		if c.dead || op.Err == lockmgr.ErrDeferred {
+			continue
+		}
+		if op.Err == lockmgr.ErrWouldBlock {
+			w.park(c, op, ends[i])
+			continue
+		}
+		resp := wire.Response{Status: statusOf(op.Err), SID: op.OutSID}
+		var err error
+		c.wbuf, err = wire.AppendResponseFrame(c.wbuf, &resp)
+		if err != nil {
+			c.dead = true
+			continue
+		}
+		c.flushMark = true
+	}
+	c.fwd.ops = ops[:0]
+	c.fwd.ends = ends[:0]
+	w.noteReady(c)
+}
+
+// encode turns the local half of the batch into response frames in each
+// conn's write buffer. A would-block acquire parks here: its
+// continuation goroutine waits FIFO on the lock while the loop moves
+// on, and the conn's parse cursor rewinds so deferred frames re-execute
+// after the grant.
+func (w *worker) encode(localN int) {
+	for i := 0; i < localN; i++ {
 		op := &w.ops[i]
 		c := w.opConn[i]
 		if c.dead || op.Err == lockmgr.ErrDeferred {
@@ -348,6 +608,15 @@ func (w *worker) park(c *conn, op *lockmgr.BatchOp, endPos int) {
 	}()
 }
 
+// statsPayload is the wire Stats response: the manager snapshot plus
+// the runtime facts a load generator needs to self-describe its bench
+// rows (worker count, affinity mode).
+type statsPayload struct {
+	lockmgr.Snapshot
+	ServerWorkers  int  `json:"server_workers"`
+	ServerAffinity bool `json:"server_affinity"`
+}
+
 // answerStats executes one OpStats inline between batches.
 func (w *worker) answerStats(c *conn) {
 	c.statsWant = false
@@ -364,7 +633,11 @@ func (w *worker) answerStats(c *conn) {
 	}
 	payload := wire.GetBuffer()
 	defer payload.Free()
-	j, err := json.Marshal(w.srv.m.Stats())
+	j, err := json.Marshal(statsPayload{
+		Snapshot:       w.srv.m.Stats(),
+		ServerWorkers:  len(w.srv.workers),
+		ServerAffinity: w.srv.owner != nil,
+	})
 	resp := wire.Response{Status: wire.StatusOK}
 	if err != nil {
 		resp.Status = wire.StatusErr
@@ -380,50 +653,56 @@ func (w *worker) answerStats(c *conn) {
 	c.flushMark = true
 }
 
-// flush writes a conn's coalesced responses in a single write.
-//
-// The write happens under loopMu, so a client that stops reading can
-// stall every connection this worker owns for up to ~1.5x WriteTimeout
-// per write. That is a deliberate tradeoff: response bursts are small
-// (tens of KB) and loopback/LAN sockets absorb them without blocking,
-// so the common case stays a single in-loop syscall with no writer
-// goroutine or handoff; the deadline below bounds the damage a stuck
-// peer can do, and the write error condemns it so it pays at most once.
+// flush hands a conn's coalesced responses to the worker's flusher
+// stage and returns immediately — the loop never writes a socket. The
+// grown chunk keeps its pooled owner; the conn gets a fresh buffer for
+// the next round. A conn whose flusher backlog exceeds maxOutq is
+// parse-paused (wblocked) until the flusher drains it, turning a peer
+// that reads too slowly into TCP backpressure instead of unbounded
+// queue growth.
 func (w *worker) flush(c *conn) {
 	if !c.flushMark || len(c.wbuf) == 0 {
 		c.flushMark = false
 		return
 	}
 	c.flushMark = false
-	// Arming a deadline is a runtime timer modify; at tens of thousands of
-	// flushes per second that is measurable. A deadline that is stale by up
-	// to half the timeout still bounds the write at 1–1.5x WriteTimeout,
-	// so re-arm coarsely instead of per write.
-	now := time.Now()
-	if now.Sub(c.wdlArmed) > w.srv.cfg.WriteTimeout/2 {
-		c.nc.SetWriteDeadline(now.Add(w.srv.cfg.WriteTimeout + w.srv.cfg.WriteTimeout/2))
-		c.wdlArmed = now
-	}
-	_, err := c.nc.Write(c.wbuf)
-	c.wbuf = c.wbuf[:0]
 	w.st.flushes.Add(1)
-	if d := time.Since(now); d >= flushStallThreshold {
-		// The head-of-line stall the flush-under-loopMu tradeoff risks:
-		// count it and the time it cost this loop's other conns.
-		w.st.flushStalls.Add(1)
-		w.st.flushStallNS.Add(uint64(d))
+	wb, buf := c.wb, c.wbuf
+	wb.B = buf // the chunk travels with its grown backing array
+	nb := wire.GetBuffer()
+	c.wb, c.wbuf = nb, nb.B
+	out := c.outBytes.Add(int64(len(buf)))
+	c.fmu.Lock()
+	if c.fdropped {
+		c.fmu.Unlock()
+		c.outBytes.Add(int64(-len(buf)))
+		wb.Free()
+		return
 	}
-	if err != nil {
-		c.dead = true
+	c.outq = append(c.outq, buf)
+	c.outb = append(c.outb, wb)
+	enq := !c.fqueued
+	if enq {
+		c.fqueued = true
+	}
+	c.fmu.Unlock()
+	if out > maxOutq && !c.wblocked {
+		c.wblocked = true
+		w.st.outBlocked.Add(1)
+	}
+	if enq {
+		w.fl.enqueue(c)
 	}
 }
 
 // cleanupIfDone retires a conn whose stream is finished: condemned
 // (malformed frame, write error) or cleanly drained (reader hit EOF and
 // no complete frame remains). A parked conn always waits for its
-// injection first so the continuation never posts to a forgotten conn.
+// injection first so the continuation never posts to a forgotten conn;
+// a conn with a run in flight likewise waits for the home worker's
+// completion.
 func (w *worker) cleanupIfDone(c *conn) {
-	if c.parked {
+	if c.parked || c.fwdInFlight {
 		return
 	}
 	if c.dead || (c.eofSeen && !c.hasFrame()) {
@@ -444,9 +723,13 @@ func (c *conn) hasFrame() bool {
 	return len(buf) >= 4+n
 }
 
-// drop closes and forgets a conn, classifying the exit for the admin
-// plane: condemned (malformed frame or write error set dead) or drained
-// (clean EOF with nothing left to parse).
+// drop forgets a conn, classifying the exit for the admin plane:
+// condemned (malformed frame or write error set dead) or drained (clean
+// EOF with nothing left to parse). The socket close defers to the
+// flusher when responses are still queued — answered requests are
+// flushed before the FIN even on a condemned stream, matching the old
+// in-loop write-then-close order — unless the flusher itself condemned
+// the socket, in which case it is already closed.
 func (w *worker) drop(c *conn) {
 	if c.removed {
 		return
@@ -464,25 +747,26 @@ func (w *worker) drop(c *conn) {
 		delete(w.conns, c)
 		w.st.conns.Add(-1)
 	}
-	c.nc.Close()
-	c.mu.Lock()
-	c.closed = true
-	c.cond.Broadcast() // free a reader stuck on a full inbox
-	c.mu.Unlock()
-	w.srv.removeConn(c)
 	if wb := c.wb; wb != nil {
 		wb.B = c.wbuf // return the grown backing array, not the original
 		c.wbuf = nil
 		c.wb = nil
 		wb.Free()
 	}
-	if w.draining && len(w.conns) == 0 {
-		// A donated cycle just retired the last conn: the dedicated
-		// goroutine is asleep with no event left to wake it, so nudge it
-		// into its exit check.
-		select {
-		case w.q <- nil:
-		default:
-		}
+	c.fmu.Lock()
+	pendingOut := (len(c.outq) > 0 || c.fqueued) && !c.writeFailed.Load() && !c.fdropped
+	if pendingOut {
+		c.closeOnFlush = true // flusher closes after the last writev
+		c.fmu.Unlock()
+	} else {
+		c.fdropped = true
+		w.fl.discardLocked(c)
+		c.fmu.Unlock()
+		c.nc.Close()
 	}
+	c.mu.Lock()
+	c.closed = true
+	c.cond.Broadcast() // free a reader stuck on a full inbox
+	c.mu.Unlock()
+	w.srv.removeConn(c)
 }

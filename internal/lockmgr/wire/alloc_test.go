@@ -53,6 +53,49 @@ func TestBufferPoolReuse(t *testing.T) {
 	c.Free()
 }
 
+// TestBufferRetainBound sweeps Free across capacities straddling
+// MaxRetain: no sequence of frees may ever let a later GetBuffer hand
+// back a backing array larger than the bound. This is the memory-ceiling
+// contract — a response burst can grow a chunk to megabytes, and
+// retaining such one-off giants would pin their memory in the pool for
+// the life of the process.
+func TestBufferRetainBound(t *testing.T) {
+	for _, extra := range []int{-1, 0, 1, MaxRetain} {
+		b := GetBuffer()
+		b.B = append(b.B, make([]byte, MaxRetain+extra)...)
+		b.Free()
+	}
+	for i := 0; i < 64; i++ {
+		b := GetBuffer()
+		if cap(b.B) > MaxRetain {
+			t.Fatalf("GetBuffer returned cap %d > MaxRetain %d", cap(b.B), MaxRetain)
+		}
+		b.Free()
+	}
+}
+
+// TestBufferPoolSteadyStateAllocs pins the pooled get→grow→free cycle
+// at zero allocations for chunks within the retain bound — the flusher
+// does this once per coalesced response chunk, so a miss here is a
+// per-flush allocation.
+func TestBufferPoolSteadyStateAllocs(t *testing.T) {
+	var chunk [512]byte
+	// Warm the per-P pool slot.
+	for i := 0; i < 8; i++ {
+		b := GetBuffer()
+		b.B = append(b.B, chunk[:]...)
+		b.Free()
+	}
+	allocs := testing.AllocsPerRun(200, func() {
+		b := GetBuffer()
+		b.B = append(b.B, chunk[:]...)
+		b.Free()
+	})
+	if allocs != 0 {
+		t.Fatalf("pooled buffer cycle allocs = %.1f, want 0", allocs)
+	}
+}
+
 // TestDecodeRequestRawMatchesDecodeRequest: the two decoders accept and
 // reject identical inputs and agree on every field.
 func TestDecodeRequestRawMatchesDecodeRequest(t *testing.T) {

@@ -21,6 +21,16 @@ var bufPool = sync.Pool{
 	New: func() any { return &Buffer{B: make([]byte, 0, 4096)} },
 }
 
+// MaxRetain bounds the backing-array capacity a Buffer may bring back
+// into the pool. A response burst to a pipelining client can grow a
+// chunk well past any single frame; retaining such one-off giants would
+// pin their memory for the life of the pool (sync.Pool holds survivors
+// across GC cycles under steady load), so Free drops anything larger
+// and lets the GC have it. One frame's worth is the natural bound: a
+// buffer that big serves every single-frame use, and bursts regrow
+// cheaply from there.
+const MaxRetain = MaxFrame
+
 // GetBuffer returns an empty pooled buffer.
 func GetBuffer() *Buffer {
 	b := bufPool.Get().(*Buffer)
@@ -29,10 +39,10 @@ func GetBuffer() *Buffer {
 }
 
 // Free recycles b. The caller must not touch b (or slices of b.B)
-// afterwards. Oversized one-off buffers are dropped rather than pinned
-// in the pool.
+// afterwards. Buffers grown past MaxRetain are dropped rather than
+// pinned in the pool.
 func (b *Buffer) Free() {
-	if b == nil || cap(b.B) > MaxFrame {
+	if b == nil || cap(b.B) > MaxRetain {
 		return
 	}
 	bufPool.Put(b)
