@@ -97,6 +97,7 @@ func main() {
 		metricsPath  = flag.String("metrics", "", "write metrics JSON here on shutdown, SIGUSR1, and every -metrics-interval (\"-\" = stdout, shutdown only)")
 		metricsIvl   = flag.Duration("metrics-interval", 0, "periodic metrics flush period (0 = shutdown/SIGUSR1 only)")
 		slowlock     = flag.Duration("slowlock", 0, "log acquires whose queue wait reaches this threshold (0 = off)")
+		cohortB      = flag.Int("cohort", 0, "cohort grant-batch bound B: prefer up to B consecutive grants from the releaser's locality domain before strict FIFO (0 = strict FIFO)")
 		flightN      = flag.Int("flight-events", 256, "flight-recorder ring size per worker (0 = recorder off)")
 		hotK         = flag.Int("hotlocks", 20, "hot-lock table depth in metrics payloads")
 		showVersion  = flag.Bool("version", false, "print build info and exit")
@@ -140,6 +141,7 @@ func main() {
 		Recorder:      rec,
 		SlowLock:      *slowlock,
 		SlowLockFn:    slowFn,
+		CohortBatch:   int32(*cohortB),
 	})
 	srv := server.NewWithConfig(mgr, server.Config{
 		Workers:    *workers,

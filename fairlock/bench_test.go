@@ -2,19 +2,25 @@ package fairlock
 
 import (
 	"fmt"
+	"runtime"
 	"sync"
 	"testing"
 )
 
-// The benchmark matrix behind BENCH_fairlock.json: implementation
-// (new fairlock / Ref reference model / sync.RWMutex) × goroutine count ×
-// read ratio × critical-section length. Parallelism is driven through
-// b.SetParallelism so the matrix is meaningful at any GOMAXPROCS.
+// The benchmark matrix behind BENCH_fairlock.json: goroutine count ×
+// read ratio × critical-section length × flavor, with the flavor
+// innermost so one process run alternates fair/cohort/nofissile/ref/sync
+// on each cell and adjacent output rows compare directly. Every row
+// self-describes its environment (gomaxprocs, num_cpu, and the cohort
+// bound B) through b.ReportMetric, so the emitted rows are
+// machine-readable without knowing how the run was launched. Parallelism
+// is driven through b.SetParallelism so the matrix is meaningful at any
+// GOMAXPROCS.
 //
 // CI runs a short smoke slice of this matrix; regenerate the full matrix
 // with:
 //
-//	GOMAXPROCS=8 go test -run '^$' -bench BenchmarkRWMutex -benchmem ./fairlock
+//	GOMAXPROCS=8 go test -run '^$' -bench 'BenchmarkRWMutex|BenchmarkCohortB' -benchmem ./fairlock
 
 // benchRWLock is the minimal surface the matrix needs; satisfied by
 // RWMutex, RefRWMutex and sync.RWMutex.
@@ -35,40 +41,91 @@ func spin(n int) {
 
 var benchSink int
 
-func benchMatrix(b *testing.B, mk func() benchRWLock) {
+// rwFlavor is one column of the matrix: which implementation, whether
+// cohort batching is on (and with what bound B), and the fissile TATAS
+// budget in force while the cell runs.
+type rwFlavor struct {
+	name    string
+	batch   int32 // cohort bound B (0 = cohort off)
+	fissile int32 // TATAS budget while the cell runs; -1 = platform default
+	mk      func(batch int32) benchRWLock
+}
+
+func newFairLock(batch int32) benchRWLock {
+	m := &RWMutex{}
+	if batch > 0 {
+		m.SetCohort(CohortConfig{Batch: batch})
+	}
+	return m
+}
+
+var rwFlavors = []rwFlavor{
+	{name: "fair", fissile: -1, mk: newFairLock},
+	{name: "cohort", batch: 4, fissile: -1, mk: newFairLock},
+	{name: "nofissile", fissile: 0, mk: newFairLock},
+	{name: "ref", fissile: -1, mk: func(int32) benchRWLock { return &RefRWMutex{} }},
+	{name: "sync", fissile: -1, mk: func(int32) benchRWLock { return &sync.RWMutex{} }},
+}
+
+// benchCell runs one matrix cell and stamps the self-describing metrics.
+func benchCell(b *testing.B, m benchRWLock, g, readPct, cs int, batch int32) {
+	b.SetParallelism(g)
+	b.ReportAllocs()
+	b.ReportMetric(float64(runtime.GOMAXPROCS(0)), "gomaxprocs")
+	b.ReportMetric(float64(runtime.NumCPU()), "num_cpu")
+	b.ReportMetric(float64(batch), "B")
+	b.ReportMetric(float64(fissileSpins.Load()), "fissile_spins")
+	b.RunParallel(func(pb *testing.PB) {
+		i := 0
+		for pb.Next() {
+			if i%100 < readPct {
+				m.RLock()
+				spin(cs)
+				m.RUnlock()
+			} else {
+				m.Lock()
+				spin(cs)
+				m.Unlock()
+			}
+			i++
+		}
+	})
+}
+
+func BenchmarkRWMutex(b *testing.B) {
 	for _, g := range []int{1, 4, 8} {
 		for _, readPct := range []int{100, 95, 90, 50} {
 			for _, cs := range []int{0, 64} {
-				name := fmt.Sprintf("g%d/r%d/cs%d", g, readPct, cs)
-				b.Run(name, func(b *testing.B) {
-					m := mk()
-					b.SetParallelism(g)
-					b.ReportAllocs()
-					b.RunParallel(func(pb *testing.PB) {
-						i := 0
-						for pb.Next() {
-							if i%100 < readPct {
-								m.RLock()
-								spin(cs)
-								m.RUnlock()
-							} else {
-								m.Lock()
-								spin(cs)
-								m.Unlock()
-							}
-							i++
+				for _, fl := range rwFlavors {
+					fl := fl
+					name := fmt.Sprintf("g%d/r%d/cs%d/%s", g, readPct, cs, fl.name)
+					b.Run(name, func(b *testing.B) {
+						if fl.fissile >= 0 {
+							prev := setFissileSpins(fl.fissile)
+							defer setFissileSpins(prev)
 						}
+						benchCell(b, fl.mk(fl.batch), g, readPct, cs, fl.batch)
 					})
-				})
+				}
 			}
 		}
 	}
 }
 
-func BenchmarkRWMutex(b *testing.B) {
-	b.Run("fair", func(b *testing.B) { benchMatrix(b, func() benchRWLock { return &RWMutex{} }) })
-	b.Run("ref", func(b *testing.B) { benchMatrix(b, func() benchRWLock { return &RefRWMutex{} }) })
-	b.Run("sync", func(b *testing.B) { benchMatrix(b, func() benchRWLock { return &sync.RWMutex{} }) })
+// BenchmarkCohortB sweeps the cohort bound at the contended mixed cell
+// (g8/r90/cs0), reporting how often batching bent FIFO order so the
+// fairness/throughput trade-off curve in EXPERIMENTS.md can be read
+// straight off the rows.
+func BenchmarkCohortB(b *testing.B) {
+	for _, batch := range []int32{1, 2, 4, 8, 16} {
+		batch := batch
+		b.Run(fmt.Sprintf("g8/r90/cs0/B%d", batch), func(b *testing.B) {
+			m := &RWMutex{}
+			m.SetCohort(CohortConfig{Batch: batch})
+			benchCell(b, m, 8, 90, 0, batch)
+			b.ReportMetric(float64(m.CohortGrants())/float64(b.N), "cohort_grants/op")
+		})
+	}
 }
 
 // BenchmarkUncontended measures the single-goroutine fast paths — the

@@ -25,12 +25,30 @@ import (
 // cost line sharing, never correctness.
 const numSlots = 16
 
-// rslot is one padded entry of the distributed reader indicator.
+// rslot is one padded entry of the distributed reader indicator. Both of
+// the slot's counters live in one atomic word so the biased read paths are
+// a single RMW each:
+//
+//	bits 0..31   active fast-path readers published here, as an int32 —
+//	             RUnlock decrements blindly and detects (then undoes) a
+//	             borrow when the half goes negative
+//	bits 32..63  cumulative fast-path read grants via this slot (wraps
+//	             mod 2^32; diagnostics only)
+//
+// Publishing a biased read is word.Add(slotGrant+1): one RMW both takes
+// the credit and counts the grant.
 type rslot struct {
-	readers atomic.Int64  // active fast-path readers published here
-	grants  atomic.Uint64 // cumulative fast-path read grants via this slot
-	_       [112]byte     // pad to 128 B against false sharing
+	word atomic.Uint64
+	_    [120]byte // pad to 128 B against false sharing
 }
+
+// slotGrant is the packed-word increment for the grants half.
+const slotGrant = uint64(1) << 32
+
+// slotReaders extracts the active-reader half of a packed slot word as a
+// signed count (negative only in the transient borrow window of a blind
+// RUnlock decrement).
+func slotReaders(v uint64) int32 { return int32(uint32(v)) }
 
 // slotIndex hashes the current goroutine to a reader slot from the
 // address of a stack local, the same trick the BRAVO paper uses with the
@@ -45,15 +63,15 @@ func slotIndex() uint32 {
 	return uint32(uintptr(unsafe.Pointer(&x))>>13) % numSlots
 }
 
-// casDecPositive decrements v iff it is currently positive, never driving
-// it below zero.
-func casDecPositive(v *atomic.Int64) bool {
+// casDecPositive removes one reader credit from the packed slot word iff
+// its reader half is currently positive, never driving it below zero.
+func casDecPositive(sl *rslot) bool {
 	for {
-		n := v.Load()
-		if n <= 0 {
+		v := sl.word.Load()
+		if slotReaders(v) <= 0 {
 			return false
 		}
-		if v.CompareAndSwap(n, n-1) {
+		if sl.word.CompareAndSwap(v, v-1) {
 			return true
 		}
 	}
@@ -72,7 +90,9 @@ func (m *RWMutex) drainSlots() { m.drainSlotsUntil(time.Time{}) }
 // credit held by the calling goroutine itself (an upgrade attempt, which
 // the reference lock resolves by timing out). A populated drain records
 // its cost and inhibits re-enabling the bias for a multiple of it
-// (BRAVO's adaptive revocation policy).
+// (BRAVO's adaptive revocation policy). A transiently negative reader half
+// (a blind RUnlock decrement about to be undone) reads as non-zero and
+// just extends the spin by an iteration.
 func (m *RWMutex) drainSlotsUntil(deadline time.Time) bool {
 	if !m.everBiased.Load() {
 		// The bias has never been on, so no reader ever published in a
@@ -81,13 +101,13 @@ func (m *RWMutex) drainSlotsUntil(deadline time.Time) bool {
 	}
 	var began time.Time
 	for i := range m.slots {
-		if m.slots[i].readers.Load() == 0 {
+		if slotReaders(m.slots[i].word.Load()) == 0 {
 			continue
 		}
 		if began.IsZero() {
 			began = time.Now()
 		}
-		for spins := 0; m.slots[i].readers.Load() != 0; spins++ {
+		for spins := 0; slotReaders(m.slots[i].word.Load()) != 0; spins++ {
 			if !deadline.IsZero() && !time.Now().Before(deadline) {
 				return false
 			}
@@ -101,7 +121,6 @@ func (m *RWMutex) drainSlotsUntil(deadline time.Time) bool {
 	if !began.IsZero() {
 		cost := time.Since(began)
 		m.inhibitUntil.Store(time.Now().Add(biasInhibitMult * cost).UnixNano())
-		m.centralR.Store(0)
 	}
 	return true
 }
@@ -124,16 +143,26 @@ func (m *RWMutex) tryEnableBias() {
 	}
 }
 
-// retract removes the provisional credit this reader just published in sl
-// after losing the publish/revoke race. If the slot already reads zero, a
-// concurrent RUnlock consumed our credit as if we held the lock (a credit
-// swap — see releaseReadCredit); its own credit is still in the aggregate,
-// so remove one from wherever it now lives.
+// retract removes the provisional credit (and its grant count) this reader
+// just published in sl after losing the publish/revoke race. If the slot's
+// reader half already reads zero, a concurrent RUnlock consumed our credit
+// as if we held the lock (a credit swap — see releaseReadCredit); its own
+// credit is still in the aggregate, so un-count only the grant here and
+// remove one credit from wherever the swapped credit now lives.
 func (m *RWMutex) retract(sl *rslot) {
-	if casDecPositive(&sl.readers) {
-		return
+	for {
+		v := sl.word.Load()
+		if slotReaders(v) > 0 {
+			if sl.word.CompareAndSwap(v, v-slotGrant-1) {
+				return
+			}
+			continue
+		}
+		if sl.word.CompareAndSwap(v, v-slotGrant) {
+			m.releaseReadCredit(sl, false)
+			return
+		}
 	}
-	m.releaseReadCredit(sl, false)
 }
 
 // releaseReadCredit removes exactly one read credit from the aggregate
@@ -147,7 +176,7 @@ func (m *RWMutex) retract(sl *rslot) {
 // retraction hides the credit; misuse still panics after bounded retries.
 func (m *RWMutex) releaseReadCredit(sl *rslot, mayPanic bool) {
 	for attempt := 0; ; attempt++ {
-		if casDecPositive(&sl.readers) {
+		if casDecPositive(sl) {
 			return
 		}
 		for {
@@ -158,15 +187,16 @@ func (m *RWMutex) releaseReadCredit(sl *rslot, mayPanic bool) {
 			if m.state.CompareAndSwap(s, s-1) {
 				if s&readerMask == 1 && s>>qShift != 0 {
 					// Last central reader out with waiters queued.
+					rc := m.releaseCohort()
 					m.qmu.Lock()
-					m.admit()
+					m.admitWith(rc)
 					m.qmu.Unlock()
 				}
 				return
 			}
 		}
 		for i := range m.slots {
-			if casDecPositive(&m.slots[i].readers) {
+			if casDecPositive(&m.slots[i]) {
 				return
 			}
 		}

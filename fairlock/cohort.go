@@ -1,0 +1,205 @@
+package fairlock
+
+import "sync/atomic"
+
+// Cohort grant batching — the software analogue of the paper's direct
+// core-to-core grant transfer inside a locality domain (and of lock
+// cohorting, Dice/Marathe/Shavit PPoPP 2012). Each queued waiter carries a
+// cohort tag assigned at enqueue; when the holder releases, the hand-off
+// path may grant up to B waiters from the releaser's own cohort ahead of
+// older waiters from other cohorts, because the lock state (and the data
+// it protects) is already hot in that domain's caches. B bounds the
+// unfairness absolutely: a waiter can be overtaken at most B times in
+// total, after which every grant falls back to strict FIFO until it is
+// served, so starvation stays impossible and the bound is pinned against
+// the reference oracle by the differential tests.
+
+const (
+	// noCohort is the sentinel releaser tag meaning "no cohort
+	// preference": admission is strict FIFO. Waiter tags never collide
+	// with it because enqueue only assigns tags produced by a CohortFunc
+	// when cohort mode is on, and the default function ranges over
+	// [0, numSlots).
+	noCohort = ^uint32(0)
+
+	// cohortScanWindow bounds how far past the queue head admitWith looks
+	// for a cohort-mate, so hand-off under a long queue never degrades
+	// into a full scan.
+	cohortScanWindow = 16
+)
+
+// CohortFunc maps the calling goroutine to a cohort (locality-domain) id.
+// It runs on the enqueue and unlock paths outside any internal lock, but
+// must be fast, allocation-free, and must never touch the RWMutex it
+// serves. The id space is the caller's to choose: the default hashes to
+// the BRAVO reader slot (a P-local shard), a lock manager can map it to
+// its shard index, and a future distributed build can use a node id.
+type CohortFunc func() uint32
+
+// CohortConfig configures cohort grant batching for an RWMutex.
+type CohortConfig struct {
+	// Batch is B, the bound on unfairness: the maximum number of grants
+	// that may overtake any single waiter before admission reverts to
+	// strict FIFO for it. Values <= 0 disable cohort mode.
+	Batch int32
+
+	// Fn derives the cohort id for enqueues and releases on this lock.
+	// nil selects the default: the BRAVO slot hash of the calling
+	// goroutine's stack, i.e. a P-local shard.
+	Fn CohortFunc
+
+	// Grants, when non-nil, is additionally incremented for every grant
+	// handed to a cohort-mate ahead of FIFO order — a shared sink so a
+	// lock manager can aggregate batching activity across many locks
+	// without polling each one.
+	Grants *atomic.Uint64
+}
+
+// cohortState is the installed form of a CohortConfig; immutable once
+// published, swapped atomically by SetCohort.
+type cohortState struct {
+	batch int32
+	fn    CohortFunc
+	sink  *atomic.Uint64
+}
+
+// SetCohort enables cohort grant batching with cfg, or disables it when
+// cfg.Batch <= 0. It is safe to call concurrently with lock operations:
+// each hand-off reads the configuration once, so a reconfiguration
+// applies from the next release onward.
+func (m *RWMutex) SetCohort(cfg CohortConfig) {
+	if cfg.Batch <= 0 {
+		m.cohort.Store(nil)
+		return
+	}
+	fn := cfg.Fn
+	if fn == nil {
+		fn = slotIndex
+	}
+	m.cohort.Store(&cohortState{batch: cfg.Batch, fn: fn, sink: cfg.Grants})
+}
+
+// CohortGrants returns the cumulative number of grants that were handed
+// to a cohort-mate ahead of an older waiter (zero when cohort mode never
+// batched). In-order grants that happen to match the releaser's cohort
+// are not counted: the stat measures how often batching actually bent
+// FIFO order.
+func (m *RWMutex) CohortGrants() uint64 { return m.cohortGrants.Load() }
+
+// releaseCohort derives the releasing holder's cohort tag, or noCohort
+// when cohort mode is off. Called outside qmu so a user CohortFunc can
+// never deadlock against the hand-off path.
+func (m *RWMutex) releaseCohort() uint32 {
+	if c := m.cohort.Load(); c != nil {
+		return c.fn()
+	}
+	return noCohort
+}
+
+// enqueueCohort derives the tag stored on a waiter about to queue.
+// Like releaseCohort it runs before qmu is taken.
+func (m *RWMutex) enqueueCohort() uint32 {
+	if c := m.cohort.Load(); c != nil {
+		return c.fn()
+	}
+	return 0
+}
+
+// feasible reports whether w could be granted right now given the state
+// word. Callers hold qmu, which makes a true result stable until the
+// grant lands: with waiters queued every acquire fast path is closed
+// (they all test the queue-length bits), so central readers only drain,
+// and the writer bit is only set by grants this admit performs itself.
+func (m *RWMutex) feasible(w *waiter) bool {
+	s := m.state.Load()
+	if w.write {
+		return s&(writerBit|readerMask) == 0
+	}
+	return s&writerBit == 0
+}
+
+// cohortCandidate scans up to cohortScanWindow entries from the head for
+// a feasible waiter tagged rc, stopping — and settling for strict FIFO —
+// at the first waiter whose bypass budget is exhausted (skips >= B).
+// It returns nil when the plain head should be granted. Callers hold qmu.
+func (m *RWMutex) cohortCandidate(c *cohortState, rc uint32) *waiter {
+	for w, i := m.q.head, 0; w != nil && i < cohortScanWindow; w, i = w.next, i+1 {
+		if w.cohort == rc && m.feasible(w) {
+			if i == 0 {
+				return nil // head already matches: in-order, no bypass
+			}
+			return w
+		}
+		if w.skips >= c.batch {
+			return nil // bypassing this waiter again would break the bound
+		}
+	}
+	return nil
+}
+
+// admitWith grants queued waiters while grants remain feasible. rc is the
+// releasing holder's cohort tag (noCohort forces strict FIFO). With
+// cohort mode on, each hand-off may pick a feasible cohort-mate of rc
+// from within the scan window instead of the head; every waiter the
+// grantee overtakes is charged one skip, and a waiter with B skips can
+// never be overtaken again, so total bypasses per waiter are bounded by
+// B. A granted reader keeps the loop running — the reader-batch admission
+// of the paper's read-grant chaining — while a granted writer ends it.
+// Callers hold qmu.
+func (m *RWMutex) admitWith(rc uint32) {
+	c := m.cohort.Load()
+	if c == nil {
+		rc = noCohort
+	}
+	for m.q.head != nil {
+		h := m.q.head
+		if rc != noCohort {
+			if cand := m.cohortCandidate(c, rc); cand != nil {
+				h = cand
+			}
+		}
+		if !m.feasible(h) {
+			return
+		}
+		if h != m.q.head {
+			// Charge the overtaken waiters before h is unlinked, then
+			// count the out-of-order grant.
+			for w := m.q.head; w != nil && w != h; w = w.next {
+				w.skips++
+			}
+			m.cohortGrants.Add(1)
+			if c.sink != nil {
+				c.sink.Add(1)
+			}
+		}
+		write := h.write
+		if write {
+			for {
+				s := m.state.Load()
+				if s&(writerBit|readerMask) != 0 {
+					return
+				}
+				if m.state.CompareAndSwap(s, ((s-qOne)|writerBit)&^biasBit) {
+					break
+				}
+			}
+			m.grantsW.Add(1)
+		} else {
+			for {
+				s := m.state.Load()
+				if s&writerBit != 0 {
+					return
+				}
+				if m.state.CompareAndSwap(s, s-qOne+1) {
+					break
+				}
+			}
+			m.grantedCentralRead()
+		}
+		m.q.remove(h)
+		h.ready <- struct{}{}
+		if write {
+			return
+		}
+	}
+}

@@ -1,0 +1,449 @@
+package fairlock
+
+import (
+	"math/rand"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// cohortRW is the surface shared by RWMutex and RefRWMutex that the
+// cohort differential tests drive.
+type cohortRW interface {
+	rwLock
+	SetCohort(CohortConfig)
+	CohortGrants() uint64
+	LockCancel(<-chan struct{}) bool
+	RLockCancel(<-chan struct{}) bool
+}
+
+var (
+	_ cohortRW = (*RWMutex)(nil)
+	_ cohortRW = (*RefRWMutex)(nil)
+)
+
+// goroutineID parses the numeric id out of runtime.Stack's first line
+// ("goroutine N [...]"). Far too slow for production CohortFuncs, but it
+// gives the tests a deterministic per-goroutine key with no runtime
+// hooks.
+func goroutineID() uint64 {
+	var buf [64]byte
+	n := runtime.Stack(buf[:], false)
+	var id uint64
+	for _, c := range buf[len("goroutine "):n] {
+		if c < '0' || c > '9' {
+			break
+		}
+		id = id*10 + uint64(c-'0')
+	}
+	return id
+}
+
+// cohortRegistry maps goroutine ids to cohort tags, making a CohortFunc
+// deterministic under test: each harness goroutine registers its tag
+// before it enqueues, and the same tag is observed when it releases.
+type cohortRegistry struct{ m sync.Map }
+
+func (r *cohortRegistry) fn() uint32 {
+	if v, ok := r.m.Load(goroutineID()); ok {
+		return v.(uint32)
+	}
+	return 1 << 20 // unregistered goroutines form their own cohort
+}
+
+func (r *cohortRegistry) set(c uint32) { r.m.Store(goroutineID(), c) }
+
+// cohortSpec is one scripted waiter: its mode and its cohort tag.
+type cohortSpec struct {
+	write  bool
+	cohort uint32
+}
+
+// cohortAdmissionOrder mirrors admissionOrder with per-waiter cohort
+// tags: the lock is held in write mode by the harness (registered as
+// cohort 0), each spec queues in deterministic arrival order on its own
+// registered goroutine, the initial hold is released, and the grant
+// order is returned.
+func cohortAdmissionOrder(t *testing.T, l cohortRW, batch int32, specs []cohortSpec) []grantEvent {
+	t.Helper()
+	reg := &cohortRegistry{}
+	l.SetCohort(CohortConfig{Batch: batch, Fn: reg.fn})
+	reg.set(0)
+	l.Lock()
+	var mu sync.Mutex
+	var order []grantEvent
+	var wg sync.WaitGroup
+	for i, sp := range specs {
+		i, sp := i, sp
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			reg.set(sp.cohort)
+			if sp.write {
+				l.Lock()
+			} else {
+				l.RLock()
+			}
+			mu.Lock()
+			order = append(order, grantEvent{sp.write, i})
+			mu.Unlock()
+			if sp.write {
+				l.Unlock()
+			} else {
+				l.RUnlock()
+			}
+		}()
+		deadline := time.Now().Add(5 * time.Second)
+		for l.QueueLen() != i+1 {
+			if time.Now().After(deadline) {
+				t.Fatalf("waiter %d never queued (QueueLen=%d)", i, l.QueueLen())
+			}
+			time.Sleep(50 * time.Microsecond)
+		}
+	}
+	l.Unlock()
+	wg.Wait()
+	return order
+}
+
+// maxBypass returns the largest number of later arrivals granted before
+// any single waiter — the quantity the cohort bound B caps.
+func maxBypass(order []grantEvent) int {
+	worst := 0
+	for pos, e := range order {
+		bypasses := 0
+		for _, g := range order[:pos] {
+			if g.id > e.id {
+				bypasses++
+			}
+		}
+		if bypasses > worst {
+			worst = bypasses
+		}
+	}
+	return worst
+}
+
+// TestDifferentialCohortWriters fuzzes all-writer arrival patterns with
+// random cohort tags and batch bounds: writer grants fully serialize, so
+// the cohort hand-off decisions are deterministic and the new lock must
+// match the reference oracle grant for grant — including how often
+// batching bent FIFO order — while no waiter is ever bypassed more than
+// B times.
+func TestDifferentialCohortWriters(t *testing.T) {
+	rng := rand.New(rand.NewSource(23))
+	for trial := 0; trial < 20; trial++ {
+		n := 3 + rng.Intn(8)
+		specs := make([]cohortSpec, n)
+		for j := range specs {
+			specs[j] = cohortSpec{write: true, cohort: uint32(rng.Intn(3))}
+		}
+		batch := int32(1 + rng.Intn(3))
+		var a RWMutex
+		var b RefRWMutex
+		gotOrder := cohortAdmissionOrder(t, &a, batch, specs)
+		wantOrder := cohortAdmissionOrder(t, &b, batch, specs)
+		got, want := canonical(gotOrder), canonical(wantOrder)
+		if got != want {
+			t.Fatalf("trial %d specs=%v B=%d: admission diverged:\nnew: %s\nref: %s",
+				trial, specs, batch, got, want)
+		}
+		if ag, bg := a.CohortGrants(), b.CohortGrants(); ag != bg {
+			t.Fatalf("trial %d: cohort grants diverged: new=%d ref=%d", trial, ag, bg)
+		}
+		ar, aw := a.Stats()
+		br, bw := b.Stats()
+		if ar != br || aw != bw {
+			t.Fatalf("trial %d: stats diverged: new=(%d,%d) ref=(%d,%d)", trial, ar, aw, br, bw)
+		}
+		if worst := maxBypass(gotOrder); worst > int(batch) {
+			t.Fatalf("trial %d: a waiter was bypassed %d times, bound B=%d\norder: %v",
+				trial, worst, batch, gotOrder)
+		}
+	}
+}
+
+// TestCohortBypassBound pins the exact shape of the bound on both
+// implementations: with B=2 and a lone cohort-0 writer queued ahead of
+// four cohort-1 writers, a cohort-1 release batches exactly two grants
+// past the head, then strict FIFO must serve the head before the
+// remaining cohort-mates.
+func TestCohortBypassBound(t *testing.T) {
+	specs := []cohortSpec{
+		{write: true, cohort: 5},
+		{write: true, cohort: 1},
+		{write: true, cohort: 1},
+		{write: true, cohort: 1},
+		{write: true, cohort: 1},
+	}
+	for _, l := range []cohortRW{&RWMutex{}, &RefRWMutex{}} {
+		// The harness releases as cohort 0; retag it to 1 so the initial
+		// release already prefers the cohort-1 run.
+		order := func() []grantEvent {
+			reg := &cohortRegistry{}
+			l.SetCohort(CohortConfig{Batch: 2, Fn: reg.fn})
+			reg.set(1)
+			l.Lock()
+			var mu sync.Mutex
+			var order []grantEvent
+			var wg sync.WaitGroup
+			for i, sp := range specs {
+				i, sp := i, sp
+				wg.Add(1)
+				go func() {
+					defer wg.Done()
+					reg.set(sp.cohort)
+					l.Lock()
+					mu.Lock()
+					order = append(order, grantEvent{true, i})
+					mu.Unlock()
+					l.Unlock()
+				}()
+				deadline := time.Now().Add(5 * time.Second)
+				for l.QueueLen() != i+1 {
+					if time.Now().After(deadline) {
+						t.Fatalf("waiter %d never queued", i)
+					}
+					time.Sleep(50 * time.Microsecond)
+				}
+			}
+			l.Unlock()
+			wg.Wait()
+			return order
+		}()
+		want := []int{1, 2, 0, 3, 4}
+		for i, e := range order {
+			if e.id != want[i] {
+				t.Fatalf("%T: grant order %v, want ids %v", l, order, want)
+			}
+		}
+		if g := l.CohortGrants(); g != 2 {
+			t.Fatalf("%T: CohortGrants=%d, want 2 (two bypasses of the head)", l, g)
+		}
+	}
+}
+
+// TestCohortReaderBypass checks the reader side of batching on both
+// implementations: a cohort-mate reader behind a foreign writer is
+// granted first on a same-cohort release, and the overtaken writer is
+// served immediately after.
+func TestCohortReaderBypass(t *testing.T) {
+	for _, l := range []cohortRW{&RWMutex{}, &RefRWMutex{}} {
+		reg := &cohortRegistry{}
+		l.SetCohort(CohortConfig{Batch: 1, Fn: reg.fn})
+		reg.set(1)
+		l.Lock()
+
+		writerIn := make(chan struct{})
+		go func() {
+			reg.set(0)
+			l.Lock()
+			close(writerIn)
+			l.Unlock()
+		}()
+		deadline := time.Now().Add(5 * time.Second)
+		for l.QueueLen() != 1 {
+			if time.Now().After(deadline) {
+				t.Fatal("writer never queued")
+			}
+			time.Sleep(50 * time.Microsecond)
+		}
+		readerIn := make(chan struct{})
+		gate := make(chan struct{})
+		go func() {
+			reg.set(1)
+			l.RLock()
+			close(readerIn)
+			<-gate
+			l.RUnlock()
+		}()
+		for l.QueueLen() != 2 {
+			if time.Now().After(deadline) {
+				t.Fatal("reader never queued")
+			}
+			time.Sleep(50 * time.Microsecond)
+		}
+
+		l.Unlock() // released as cohort 1: the reader bypasses the writer
+		select {
+		case <-readerIn:
+		case <-time.After(5 * time.Second):
+			t.Fatalf("%T: cohort-mate reader was not granted first", l)
+		}
+		select {
+		case <-writerIn:
+			t.Fatalf("%T: writer granted while the bypassing reader holds", l)
+		case <-time.After(10 * time.Millisecond):
+		}
+		close(gate) // reader leaves; the overtaken writer must be served
+		select {
+		case <-writerIn:
+		case <-time.After(5 * time.Second):
+			t.Fatalf("%T: overtaken writer never granted", l)
+		}
+		if g := l.CohortGrants(); g != 1 {
+			t.Fatalf("%T: CohortGrants=%d, want 1", l, g)
+		}
+	}
+}
+
+// TestWaiterPoolHygiene is the regression test for recycled waiter nodes
+// leaking state between lives: putWaiter must clear the cohort tag, the
+// bypass count, the mode, the links, and any unconsumed grant token, so
+// a node reused by a different lock or mode starts clean.
+func TestWaiterPoolHygiene(t *testing.T) {
+	w := newWaiter(true)
+	w.cohort = 7
+	w.skips = 3
+	w.queued = true
+	w.ready <- struct{}{} // simulate an unconsumed grant token
+	putWaiter(w)
+	if w.write || w.queued || w.cohort != 0 || w.skips != 0 || w.next != nil || w.prev != nil {
+		t.Fatalf("recycled waiter retains state: %+v", w)
+	}
+	select {
+	case <-w.ready:
+		t.Fatal("recycled waiter retains a grant token")
+	default:
+	}
+	if w.ready == nil || cap(w.ready) != 1 {
+		t.Fatal("recycled waiter lost its reusable ready channel")
+	}
+}
+
+// TestStressCohortCancelRevocation mixes cancellable acquires with cohort
+// grants and BRAVO bias revocation at small timeouts, checking exclusion
+// on every acquisition (run with -race and GOMAXPROCS=4 in CI). The
+// shared Grants sink must agree with the lock's own counter at
+// quiescence.
+func TestStressCohortCancelRevocation(t *testing.T) {
+	// Force the fissile TATAS phase on so its interleavings are exercised
+	// even where the single-core gate would disable it.
+	prev := setFissileSpins(defaultFissileSpins)
+	defer setFissileSpins(prev)
+	var m RWMutex
+	var sink atomic.Uint64
+	m.SetCohort(CohortConfig{Batch: 3, Grants: &sink})
+	var writers, readers int32
+	check := func(write bool) {
+		if write {
+			if w := atomic.AddInt32(&writers, 1); w != 1 {
+				t.Errorf("%d writers inside", w)
+			}
+			if r := atomic.LoadInt32(&readers); r != 0 {
+				t.Errorf("writer inside with %d readers", r)
+			}
+			atomic.AddInt32(&writers, -1)
+		} else {
+			atomic.AddInt32(&readers, 1)
+			if w := atomic.LoadInt32(&writers); w != 0 {
+				t.Errorf("reader inside with %d writers", w)
+			}
+			atomic.AddInt32(&readers, -1)
+		}
+	}
+	iters := 300
+	if testing.Short() {
+		iters = 80
+	}
+	var wg sync.WaitGroup
+	for g := 0; g < 12; g++ {
+		g := g
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(int64(g)))
+			for i := 0; i < iters; i++ {
+				switch g % 4 {
+				case 0: // cancellable writer, sometimes already cancelled
+					cancel := make(chan struct{})
+					if rng.Intn(4) == 0 {
+						close(cancel)
+					} else {
+						time.AfterFunc(time.Duration(rng.Intn(60))*time.Microsecond,
+							func() { close(cancel) })
+					}
+					if m.LockCancel(cancel) {
+						check(true)
+						m.Unlock()
+					}
+				case 1: // cancellable reader
+					cancel := make(chan struct{})
+					time.AfterFunc(time.Duration(rng.Intn(60))*time.Microsecond,
+						func() { close(cancel) })
+					if m.RLockCancel(cancel) {
+						check(false)
+						m.RUnlock()
+					}
+				case 2: // writer bursts keep revoking the bias
+					m.Lock()
+					check(true)
+					m.Unlock()
+				default: // read traffic re-enables the bias and feeds batches
+					for j := 0; j < 8; j++ {
+						m.RLock()
+						check(false)
+						m.RUnlock()
+					}
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	if n := m.QueueLen(); n != 0 {
+		t.Fatalf("queue len %d after quiescence", n)
+	}
+	if got, want := sink.Load(), m.CohortGrants(); got != want {
+		t.Fatalf("shared sink %d != lock cohort grants %d", got, want)
+	}
+	m.Lock() // the lock must still be fully usable
+	m.Unlock()
+}
+
+// TestCohortFissileAllocs pins the new fast paths at zero allocations:
+// the fissile TATAS acquire and the cohort-enabled lock's uncontended
+// paths (SetCohort must not push Lock/RLock off the allocation-free
+// route), plus pooled steady-state behavior for contended cohort churn.
+func TestCohortFissileAllocs(t *testing.T) {
+	var m RWMutex
+	m.SetCohort(CohortConfig{Batch: 4})
+	if n := testing.AllocsPerRun(500, func() { m.Lock(); m.Unlock() }); n != 0 {
+		t.Errorf("cohort Lock/Unlock allocates %.1f objects/op, want 0", n)
+	}
+	if n := testing.AllocsPerRun(500, func() { m.RLock(); m.RUnlock() }); n != 0 {
+		t.Errorf("cohort RLock/RUnlock (central) allocates %.1f objects/op, want 0", n)
+	}
+	if m.state.Load()&biasBit == 0 {
+		t.Fatal("read bias did not enable after sustained read traffic")
+	}
+	if n := testing.AllocsPerRun(500, func() { m.RLock(); m.RUnlock() }); n != 0 {
+		t.Errorf("cohort RLock/RUnlock (biased) allocates %.1f objects/op, want 0", n)
+	}
+
+	// The fissile TATAS phase itself: a writer acquiring against a lock
+	// that a peer holds and releases in a tight loop resolves by active
+	// spin (or at worst the pooled queue); either way the steady state
+	// must stay allocation-free.
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+				m.Lock()
+				m.Unlock() //nolint:staticcheck // empty critical section on purpose
+			}
+		}
+	}()
+	if n := testing.AllocsPerRun(2000, func() { m.Lock(); m.Unlock() }); n > 0.1 {
+		t.Errorf("fissile contended Lock/Unlock allocates %.2f objects/op, want ~0", n)
+	}
+	close(stop)
+	wg.Wait()
+}

@@ -73,9 +73,11 @@ type RWMutex struct {
 	grantsR atomic.Uint64 // central-path read grants (slot grants live in slots)
 	grantsW atomic.Uint64
 
-	centralR     atomic.Uint32 // central read grants since last revocation
-	inhibitUntil atomic.Int64  // unix nanos before which bias may not re-enable
-	everBiased   atomic.Bool   // bias was enabled at least once (drain gate)
+	inhibitUntil atomic.Int64 // unix nanos before which bias may not re-enable
+	everBiased   atomic.Bool  // bias was enabled at least once (drain gate)
+
+	cohort       atomic.Pointer[cohortState] // cohort batching config (nil = off)
+	cohortGrants atomic.Uint64               // grants handed out of FIFO order to a cohort-mate
 
 	slots [numSlots]rslot // BRAVO distributed reader indicator
 }
@@ -87,6 +89,32 @@ type RWMutex struct {
 // to release.
 const spinGrants = 4
 
+// fissileSpins is the budget of the fissile TATAS phase (Dice & Kogan,
+// "Fissile Locks"): how many active probes of the state word a contended
+// acquirer makes before it starts yielding whole scheduling quanta. The
+// active probes resolve the common near-miss — the holder releasing
+// within a few dozen nanoseconds — without surrendering the P, which is
+// what closes the gap to sync.RWMutex under light contention. Zero
+// disables the phase (the pre-fissile behavior); the bench matrix sweeps
+// it. Spinning still never overtakes a queued waiter: every probe checks
+// the queue-length bits first.
+var fissileSpins atomic.Int32
+
+const defaultFissileSpins = 64
+
+func init() {
+	// Active spinning only pays when the holder can run concurrently; on
+	// a single-core machine a spinner just delays the holder's release
+	// (the same gate sync.Mutex applies through runtime_canSpin).
+	if runtime.NumCPU() > 1 {
+		fissileSpins.Store(defaultFissileSpins)
+	}
+}
+
+// setFissileSpins adjusts the TATAS budget and returns the previous value
+// (bench/test knob).
+func setFissileSpins(n int32) int32 { return fissileSpins.Swap(n) }
+
 // Lock acquires the lock in write (exclusive) mode.
 func (m *RWMutex) Lock() {
 	if m.state.CompareAndSwap(0, writerBit) {
@@ -97,11 +125,23 @@ func (m *RWMutex) Lock() {
 			putWaiter(w)
 		}
 	}
-	m.drainSlots()
+	if m.everBiased.Load() {
+		m.drainSlots()
+	}
 }
 
-// RLock acquires the lock in read (shared) mode.
+// RLock acquires the lock in read (shared) mode. The biased slot publish
+// is laid out inline so the steady-state read path (bias on) runs without
+// an extra call frame; everything else defers to rlockFast.
 func (m *RWMutex) RLock() {
+	if m.state.Load()&biasBit != 0 {
+		sl := &m.slots[slotIndex()]
+		sl.word.Add(slotGrant + 1)
+		if m.state.Load()&biasBit != 0 {
+			return
+		}
+		m.retract(sl)
+	}
 	if m.rlockFast() {
 		return
 	}
@@ -114,12 +154,32 @@ func (m *RWMutex) RLock() {
 	}
 }
 
-// spinAcquire retries the fast path a few times, yielding in between,
-// before the caller parks on the FIFO. It gives up as soon as anyone is
-// queued: spinning only delays this waiter's own arrival, so it can never
-// overtake a queued waiter, it just avoids the park/handoff round trip
-// when the holder is about to release.
+// spinAcquire retries the fast path before the caller parks on the FIFO:
+// first the fissile TATAS phase (bounded active probes of the state
+// word), then a few retries separated by yields. It gives up as soon as
+// anyone is queued: spinning only delays this waiter's own arrival, so it
+// can never overtake a queued waiter, it just avoids the park/handoff
+// round trip when the holder is about to release.
 func (m *RWMutex) spinAcquire(write bool) bool {
+	for i, n := int32(0), fissileSpins.Load(); i < n; i++ {
+		s := m.state.Load()
+		if s>>qShift != 0 {
+			return false
+		}
+		if write {
+			if s&biasBit != 0 {
+				// Fast-path readers never observe a spinning writer; only
+				// enqueue revokes the bias. Go revoke instead.
+				return false
+			}
+			if s == 0 && m.state.CompareAndSwap(0, writerBit) {
+				m.grantsW.Add(1)
+				return true
+			}
+		} else if s&writerBit == 0 && m.rlockFast() {
+			return true
+		}
+	}
 	for i := 0; i < spinGrants; i++ {
 		runtime.Gosched()
 		s := m.state.Load()
@@ -152,11 +212,11 @@ func (m *RWMutex) rlockFast() bool {
 	s := m.state.Load()
 	if s&biasBit != 0 {
 		sl := &m.slots[slotIndex()]
-		sl.readers.Add(1)
+		// One RMW publishes the read credit and counts the grant.
+		sl.word.Add(slotGrant + 1)
 		if m.state.Load()&biasBit != 0 {
 			// Bias still on after publishing: any revoking writer will see
 			// our slot and drain it before entering its critical section.
-			sl.grants.Add(1)
 			return true
 		}
 		// Revoked between publish and recheck: the writer may have scanned
@@ -177,8 +237,7 @@ func (m *RWMutex) rlockFast() bool {
 // grantedCentralRead accounts a central-path read grant and periodically
 // attempts to re-enable the read bias.
 func (m *RWMutex) grantedCentralRead() {
-	m.grantsR.Add(1)
-	if n := m.centralR.Add(1); n%biasRetryGrants == 0 {
+	if n := m.grantsR.Add(1); n%biasRetryGrants == 0 {
 		m.tryEnableBias()
 	}
 }
@@ -189,6 +248,9 @@ func (m *RWMutex) grantedCentralRead() {
 // that publishes it, so no new slot readers can slip past a queued writer.
 // It returns nil on immediate grant.
 func (m *RWMutex) enqueue(write bool) *waiter {
+	// The cohort tag is derived before qmu so a user CohortFunc can never
+	// deadlock against the hand-off path.
+	cohort := m.enqueueCohort()
 	m.qmu.Lock()
 	for {
 		s := m.state.Load()
@@ -218,6 +280,7 @@ func (m *RWMutex) enqueue(write bool) *waiter {
 			continue
 		}
 		w := newWaiter(write)
+		w.cohort = cohort
 		m.q.pushBack(w)
 		m.qmu.Unlock()
 		return w
@@ -226,39 +289,10 @@ func (m *RWMutex) enqueue(write bool) *waiter {
 
 // admit grants the lock to the queue head — and, for a reader head, to
 // every consecutive reader behind it (the reader-batch admission of the
-// paper's read-grant chaining). Callers hold qmu.
-func (m *RWMutex) admit() {
-	for m.q.head != nil {
-		h := m.q.head
-		if h.write {
-			for {
-				s := m.state.Load()
-				if s&(writerBit|readerMask) != 0 {
-					return
-				}
-				if m.state.CompareAndSwap(s, ((s-qOne)|writerBit)&^biasBit) {
-					break
-				}
-			}
-			m.grantsW.Add(1)
-			m.q.remove(h)
-			h.ready <- struct{}{}
-			return
-		}
-		for {
-			s := m.state.Load()
-			if s&writerBit != 0 {
-				return
-			}
-			if m.state.CompareAndSwap(s, s-qOne+1) {
-				break
-			}
-		}
-		m.grantedCentralRead()
-		m.q.remove(h)
-		h.ready <- struct{}{}
-	}
-}
+// paper's read-grant chaining) — in strict FIFO order. Hand-offs from a
+// release go through admitWith (cohort.go) instead, which may batch
+// grants within the releaser's cohort. Callers hold qmu.
+func (m *RWMutex) admit() { m.admitWith(noCohort) }
 
 // Unlock releases write mode. It panics if the lock is not write-held.
 func (m *RWMutex) Unlock() {
@@ -269,8 +303,9 @@ func (m *RWMutex) Unlock() {
 		}
 		if m.state.CompareAndSwap(s, s&^writerBit) {
 			if s>>qShift != 0 {
+				rc := m.releaseCohort()
 				m.qmu.Lock()
-				m.admit()
+				m.admitWith(rc)
 				m.qmu.Unlock()
 			}
 			return
@@ -279,8 +314,21 @@ func (m *RWMutex) Unlock() {
 }
 
 // RUnlock releases read mode. It panics if the lock is not read-held.
+// While the lock is read-biased the release is a single blind decrement
+// of the hashed slot's packed word: if the reader half goes negative the
+// credit was not here (P migration, cross-goroutine unlock, or acquired
+// before the bias came on) — undo the borrow and fall back to the full
+// credit hunt.
 func (m *RWMutex) RUnlock() {
-	m.releaseReadCredit(&m.slots[slotIndex()], true)
+	sl := &m.slots[slotIndex()]
+	if m.state.Load()&biasBit != 0 {
+		n := sl.word.Add(^uint64(0))
+		if slotReaders(n) >= 0 {
+			return
+		}
+		sl.word.Add(1)
+	}
+	m.releaseReadCredit(sl, true)
 }
 
 // tryLockDrain bounds how long TryLock waits on slot credits that appear
@@ -294,7 +342,7 @@ const tryLockDrain = 100 * time.Microsecond
 // BRAVO table at the instant of the scan.
 func (m *RWMutex) slotsEmpty() bool {
 	for i := range m.slots {
-		if m.slots[i].readers.Load() != 0 {
+		if slotReaders(m.slots[i].word.Load()) != 0 {
 			return false
 		}
 	}
@@ -533,11 +581,16 @@ type rlocker RWMutex
 func (r *rlocker) Lock()   { (*RWMutex)(r).RLock() }
 func (r *rlocker) Unlock() { (*RWMutex)(r).RUnlock() }
 
-// Stats returns the cumulative number of read and write grants.
+// Stats returns the cumulative number of read and write grants. Slot
+// grant counters live in the high half of each packed slot word (they
+// wrap mod 2^32 per slot, and a blind RUnlock borrow can skew a slot by
+// one transiently), so the sums are exact at quiescence and approximate
+// under concurrent fast-path traffic — fine for the diagnostics they
+// feed.
 func (m *RWMutex) Stats() (readGrants, writeGrants uint64) {
 	r := m.grantsR.Load()
 	for i := range m.slots {
-		r += m.slots[i].grants.Load()
+		r += m.slots[i].word.Load() >> 32
 	}
 	return r, m.grantsW.Load()
 }

@@ -33,9 +33,19 @@ func (m *Mutex) Lock() {
 		m.grants.Add(1)
 		return
 	}
-	// Brief yield-spin before parking: a spinner delays only its own
-	// arrival (it acquires nothing while anyone is queued), so FIFO order
-	// among queued waiters is unaffected.
+	// Fissile TATAS phase, then a brief yield-spin, before parking: a
+	// spinner delays only its own arrival (it acquires nothing while
+	// anyone is queued), so FIFO order among queued waiters is unaffected.
+	for i, n := int32(0), fissileSpins.Load(); i < n; i++ {
+		s := m.state.Load()
+		if s>>qShift != 0 {
+			break
+		}
+		if s == 0 && m.state.CompareAndSwap(0, heldBit) {
+			m.grants.Add(1)
+			return
+		}
+	}
 	for i := 0; i < spinGrants; i++ {
 		runtime.Gosched()
 		s := m.state.Load()

@@ -162,7 +162,7 @@ func (m *Manager) ExecBatch(ops []BatchOp, sc *BatchScratch) {
 			e := sh.entries[string(op.Name)] // alloc-free lookup
 			if e == nil {
 				name := string(op.Name) // the one copy: entry creation
-				e = &entry{name: name}
+				e = m.newEntry(name)
 				sh.entries[name] = e
 				m.c.entriesCreated.Add(1)
 			}

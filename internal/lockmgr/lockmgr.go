@@ -82,6 +82,17 @@ type Config struct {
 	// structured one-liners). Called from the granted acquirer's
 	// goroutine; must not block.
 	SlowLockFn func(name string, sid uint64, excl bool, wait time.Duration)
+	// CohortBatch, when > 0, enables cohort grant batching on every
+	// entry's lock with bound B = CohortBatch: a release may hand the
+	// lock to up to B waiters from the releaser's cohort before strict
+	// FIFO resumes (fairlock.CohortConfig). Zero leaves admission
+	// strictly FIFO.
+	CohortBatch int32
+	// CohortFunc maps the acquiring goroutine to a cohort id when
+	// CohortBatch is set. nil selects fairlock's default (the BRAVO
+	// slot hash, i.e. a P-local shard); a server can map it to its
+	// worker index, and a future distributed build to a node id.
+	CohortFunc fairlock.CohortFunc
 }
 
 func (c Config) withDefaults() Config {
@@ -240,7 +251,7 @@ func (m *Manager) ref(name string, h32 uint32, acquire bool) *entry {
 	sh.mu.Lock()
 	e := sh.entries[name]
 	if e == nil {
-		e = &entry{name: name}
+		e = m.newEntry(name)
 		sh.entries[name] = e
 		m.c.entriesCreated.Add(1)
 	}
@@ -251,6 +262,26 @@ func (m *Manager) ref(name string, h32 uint32, acquire bool) *entry {
 	sh.mu.Unlock()
 	return e
 }
+
+// newEntry builds a table entry, applying the manager's cohort policy to
+// its lock: every entry shares the manager's cohort-grant sink so
+// batching activity aggregates across the whole table without polling
+// individual locks.
+func (m *Manager) newEntry(name string) *entry {
+	e := &entry{name: name}
+	if m.cfg.CohortBatch > 0 {
+		e.lock.SetCohort(fairlock.CohortConfig{
+			Batch:  m.cfg.CohortBatch,
+			Fn:     m.cfg.CohortFunc,
+			Grants: &m.c.cohortGrants,
+		})
+	}
+	return e
+}
+
+// CohortBatch returns the cohort bound B entries are configured with
+// (0 = strict FIFO).
+func (m *Manager) CohortBatch() int32 { return m.cfg.CohortBatch }
 
 // deref drops one reference, stamping idleness with the caller's clock
 // reading. The entry stays in the table until the sweeper finds it idle
