@@ -39,9 +39,14 @@ import (
 	"time"
 
 	"fairrw/internal/lockmgr"
+	"fairrw/internal/lockmgr/cluster"
 	"fairrw/internal/lockmgr/introspect"
 	"fairrw/internal/lockmgr/server"
 )
+
+// The node is the server's cluster gate; keep the contract pinned at
+// compile time.
+var _ server.Cluster = (*cluster.Node)(nil)
 
 // buildInfo assembles the binary's identity: module version (plus VCS
 // revision when the toolchain stamped one) and the Go version. This is
@@ -100,6 +105,10 @@ func main() {
 		cohortB      = flag.Int("cohort", 0, "cohort grant-batch bound B: prefer up to B consecutive grants from the releaser's locality domain before strict FIFO (0 = strict FIFO)")
 		flightN      = flag.Int("flight-events", 256, "flight-recorder ring size per worker (0 = recorder off)")
 		hotK         = flag.Int("hotlocks", 20, "hot-lock table depth in metrics payloads")
+		clusterArg   = flag.String("cluster", "", "comma-separated member list, this node first (e.g. self:7600,peer:7600,...); enables clustered mode")
+		hbIvl        = flag.Duration("hb", 250*time.Millisecond, "cluster heartbeat period")
+		suspectAfter = flag.Int("suspect-after", 3, "consecutive heartbeat failures before a peer is declared dead")
+		failWindow   = flag.Duration("failover-window", 0, "ghost-hold quarantine after a member death; must cover every lease the dead node could have granted (0 = -max-lease)")
 		showVersion  = flag.Bool("version", false, "print build info and exit")
 	)
 	flag.Parse()
@@ -143,12 +152,48 @@ func main() {
 		SlowLockFn:    slowFn,
 		CohortBatch:   int32(*cohortB),
 	})
-	srv := server.NewWithConfig(mgr, server.Config{
+	// Clustered mode: this node owns a rendezvous-hashed slice of the
+	// namespace and gates every named op on ownership. The member list
+	// names this node first; peers are heartbeated as ordinary wire
+	// sessions and a dead peer's names rehash to the survivors.
+	var node *cluster.Node
+	if *clusterArg != "" {
+		members := strings.Split(*clusterArg, ",")
+		for i := range members {
+			members[i] = strings.TrimSpace(members[i])
+		}
+		fw := *failWindow
+		if fw <= 0 {
+			// Every lease the dead node granted was capped at its
+			// -max-lease; quarantining inherited names for the same
+			// window guarantees those leases have expired before a
+			// survivor re-grants.
+			fw = *maxLease
+		}
+		var err error
+		node, err = cluster.NewNode(cluster.Config{
+			Self:           members[0],
+			Members:        members,
+			Manager:        mgr,
+			Interval:       *hbIvl,
+			SuspectAfter:   *suspectAfter,
+			FailoverWindow: fw,
+			Logf:           log.Printf,
+		})
+		if err != nil {
+			log.Fatalf("lockd: cluster: %v", err)
+		}
+	}
+	srvCfg := server.Config{
 		Workers:    *workers,
 		NoAffinity: !*affinity,
 		FlushPass:  *flushPass,
 		Recorder:   rec,
-	})
+	}
+	if node != nil {
+		srvCfg.Cluster = node
+	}
+	srv := server.NewWithConfig(mgr, srvCfg)
 
 	// writeMetrics serializes the full admin payload to the -metrics
 	// path. Shutdown, SIGUSR1, and the periodic flusher all funnel
@@ -250,10 +295,18 @@ func main() {
 	if !srv.Affinity() {
 		mode = "no-affinity"
 	}
+	if node != nil {
+		node.Start()
+		log.Printf("lockd: cluster member %s of %v (hb %v, suspect after %d, failover window %v)",
+			node.Self(), node.Current().Members(), *hbIvl, *suspectAfter, *failWindow)
+	}
 	log.Printf("lockd: %s %s serving on %s (%d shards, sweep %v, %d workers, %s)",
 		bi.Version, bi.GoVersion, ln.Addr(), *shards, *sweep, srv.Workers(), mode)
 	if err := srv.Serve(ln); err != nil {
 		log.Fatalf("lockd: serve: %v", err)
+	}
+	if node != nil {
+		node.Stop()
 	}
 	close(stopFlush)
 	if adminSrv != nil {

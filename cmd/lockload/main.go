@@ -1,4 +1,4 @@
-// lockload is the load generator for lockd. It runs in two modes:
+// lockload is the load generator for lockd. It runs in three modes:
 //
 // Closed loop (default): N worker goroutines, each with its own
 // connection and session, issue lock transactions back to back — each
@@ -16,6 +16,14 @@
 // that makes latency-under-load curves honest. -ratesweep produces one
 // run per rate point.
 //
+// Cluster loop (-cluster a,b,c): each worker drives a cluster-aware
+// Router seeded with the given members; ops route to each name's
+// rendezvous owner and re-aim across failovers. The run reports the
+// membership epoch, the per-node op share (the live measurement of the
+// rendezvous split), and a separate failover-error count for outcomes
+// a member death explains — so a kill-one-node run can be asserted to
+// finish with *only* lease-window errors.
+//
 // One transaction is an acquire+release pair (two wire ops) on a key
 // drawn from -keys — uniformly by default, or Zipfian with -zipf s
 // (s > 1; key 0 hottest), which is what makes lockd's hot-lock table
@@ -25,6 +33,7 @@
 //	lockload -depth 4 -json                               # pipelined, JSON out
 //	lockload -open -ratesweep 5000,10000,20000,40000      # latency curve
 //	lockload -zipf 1.3 -prom client.prom                  # skewed keys, prom out
+//	lockload -cluster :7601,:7602,:7603 -zipf 1.2         # routed cluster loop
 //	lockload -check BENCH_lockd.json                      # validate bench doc
 //
 // -warmup excludes a leading window from every statistic (histograms
@@ -40,6 +49,7 @@ package main
 
 import (
 	"encoding/json"
+	"errors"
 	"flag"
 	"fmt"
 	"log"
@@ -60,13 +70,20 @@ import (
 // point is one run's result, shaped for both the human table and the
 // JSON document committed as BENCH_lockd.json.
 type point struct {
-	Mode    string  `json:"mode"` // "closed" or "open"
+	Mode    string  `json:"mode"` // "closed", "open", or "cluster"
 	Server  string  `json:"server,omitempty"`
 	ReadPct int     `json:"read_pct"`
 	Conns   int     `json:"conns"`
 	Depth   int     `json:"depth,omitempty"`
 	Rate    float64 `json:"rate,omitempty"` // open loop: target transactions/s
 	DurS    float64 `json:"duration_s"`
+
+	// Cluster mode: the membership the Router saw and where the ops
+	// landed. node_share is the fraction of successful ops served by
+	// each member — the live measurement of the rendezvous split.
+	ClusterMembers int                `json:"cluster_members,omitempty"`
+	ClusterEpoch   uint64             `json:"cluster_epoch,omitempty"`
+	NodeShare      map[string]float64 `json:"node_share,omitempty"`
 
 	// Host/server metadata, so a committed row is self-describing: a
 	// "workers=4" number means nothing without knowing how many
@@ -82,6 +99,13 @@ type point struct {
 	AchievedRate float64 `json:"achieved_rate,omitempty"`
 	Timeouts     uint64  `json:"timeouts"`
 	Errors       uint64  `json:"errors"`
+	// FailoverErrs counts cluster-mode outcomes explained by a member
+	// death: routing that ran out of reachable owners mid-failover,
+	// sessions expired by the survivor's reaper, and holds that died
+	// with their node (release answered NotHeld). Expected — and
+	// bounded by the lease window — in any run that kills a node;
+	// anything else lands in Errors and fails the run.
+	FailoverErrs uint64 `json:"failover_errs,omitempty"`
 
 	P50US  float64 `json:"p50_us"`
 	P95US  float64 `json:"p95_us"`
@@ -101,6 +125,7 @@ type benchDoc struct {
 	BaselineOpsPerSec float64 `json:"baseline_ops_per_sec"`
 	ClosedLoop        []point `json:"closed_loop"`
 	OpenLoop          []point `json:"open_loop"`
+	ClusterLoop       []point `json:"cluster_loop,omitempty"`
 	Notes             string  `json:"notes,omitempty"`
 }
 
@@ -109,16 +134,27 @@ type worker struct {
 	pairs    uint64
 	timeouts uint64
 	errors   uint64
+	failover uint64
 	lat      stats.Histogram // transaction latency, ns
+
+	// Cluster mode: successful pairs per serving member, and the
+	// membership this worker's Router ended the run with.
+	nodeOps map[string]uint64
+	epoch   uint64
+	members int
 }
 
 func (w *worker) reset() {
-	w.pairs, w.timeouts, w.errors = 0, 0, 0
+	w.pairs, w.timeouts, w.errors, w.failover = 0, 0, 0, 0
 	w.lat.Reset()
+	for k := range w.nodeOps {
+		delete(w.nodeOps, k)
+	}
 }
 
 type runCfg struct {
 	addr     string
+	seeds    []string // cluster mode: seed addresses for the Router
 	conns    int
 	duration time.Duration
 	warmup   time.Duration
@@ -127,6 +163,7 @@ type runCfg struct {
 	depth    int
 	rate     float64 // open loop only; transactions/s across all conns
 	open     bool
+	cluster  bool
 	zipf     float64 // key-skew exponent; 0 = uniform
 	wait     time.Duration
 	lease    time.Duration
@@ -155,7 +192,8 @@ func main() {
 		open      = flag.Bool("open", false, "open-loop mode: Poisson arrivals, latency from scheduled arrival")
 		rate      = flag.Float64("rate", 10000, "open loop: target transactions/s across all connections")
 		zipf      = flag.Float64("zipf", 0, "Zipfian key skew exponent (> 1; 0 = uniform keys)")
-		promPath  = flag.String("prom", "", "write client-side latency histograms in Prometheus text format here (\"-\" = stdout)")
+		clusterArg = flag.String("cluster", "", "comma-separated cluster seed addresses; route every op through the cluster-aware Router")
+		promPath   = flag.String("prom", "", "write client-side latency histograms in Prometheus text format here (\"-\" = stdout)")
 		wait      = flag.Duration("wait", time.Second, "acquire wait bound (FIFO timed acquire)")
 		lease     = flag.Duration("lease", 10*time.Second, "session lease")
 		hold      = flag.Duration("hold", 0, "closed loop, depth 1: critical-section hold time")
@@ -180,11 +218,29 @@ func main() {
 		readPct: *readPct, keys: *keys, depth: *depth, rate: *rate,
 		open: *open, zipf: *zipf, wait: *wait, lease: *lease, hold: *hold,
 	}
+	if *clusterArg != "" {
+		for _, s := range strings.Split(*clusterArg, ",") {
+			if s = strings.TrimSpace(s); s != "" {
+				cfg.seeds = append(cfg.seeds, s)
+			}
+		}
+		cfg.cluster = len(cfg.seeds) > 0
+	}
 	if cfg.depth < 1 {
 		log.Fatal("lockload: -depth must be >= 1")
 	}
+	if cfg.cluster && *open {
+		log.Fatal("lockload: -cluster and -open are mutually exclusive (the Router is a synchronous closed-loop client)")
+	}
+	if cfg.cluster && cfg.depth > 1 {
+		log.Fatal("lockload: -cluster requires -depth 1 (Router ops are unpipelined round trips)")
+	}
 	if cfg.zipf != 0 && cfg.zipf <= 1 {
 		log.Fatal("lockload: -zipf must be > 1 (or 0 for uniform)")
+	}
+	if cfg.cluster {
+		// The stats/serverInfo side channels talk to one member directly.
+		cfg.addr = cfg.seeds[0]
 	}
 
 	type runSpec struct {
@@ -214,15 +270,20 @@ func main() {
 
 	if !*jsonOut {
 		mode := "closed loop"
+		target := cfg.addr
 		if *open {
 			mode = "open loop"
 		}
+		if cfg.cluster {
+			mode = "cluster loop"
+			target = strings.Join(cfg.seeds, ",")
+		}
 		fmt.Printf("lockload: %s, %d conns, depth %d, %v/run (+%v warmup), %d keys, wait %v -> %s\n",
-			mode, cfg.conns, cfg.depth, cfg.duration, cfg.warmup, cfg.keys, cfg.wait, cfg.addr)
-		fmt.Printf("%7s %10s %12s %12s %9s %9s %9s %9s %9s %7s\n",
-			"read%", "rate", "pairs", "ops/s", "p50(us)", "p95(us)", "p99(us)", "p999(us)", "timeouts", "errors")
+			mode, cfg.conns, cfg.depth, cfg.duration, cfg.warmup, cfg.keys, cfg.wait, target)
+		fmt.Printf("%7s %10s %12s %12s %9s %9s %9s %9s %9s %7s %7s\n",
+			"read%", "rate", "pairs", "ops/s", "p50(us)", "p95(us)", "p99(us)", "p999(us)", "timeouts", "errors", "failov")
 	}
-	srvWorkers, srvAffinity := serverInfo(*addr)
+	srvWorkers, srvAffinity := serverInfo(cfg.addr)
 	var results []point
 	var hists []stats.Histogram
 	var failed bool
@@ -243,9 +304,9 @@ func main() {
 			if *open {
 				rateCol = fmt.Sprintf("%.0f", p.Rate)
 			}
-			fmt.Printf("%7d %10s %12d %12.0f %9.1f %9.1f %9.1f %9.1f %9d %7d\n",
+			fmt.Printf("%7d %10s %12d %12.0f %9.1f %9.1f %9.1f %9.1f %9d %7d %7d\n",
 				p.ReadPct, rateCol, p.Pairs, p.OpsPerSec,
-				p.P50US, p.P95US, p.P99US, p.P999US, p.Timeouts, p.Errors)
+				p.P50US, p.P95US, p.P99US, p.P999US, p.Timeouts, p.Errors, p.FailoverErrs)
 		}
 	}
 
@@ -260,7 +321,7 @@ func main() {
 		if err := enc.Encode(results); err != nil {
 			log.Fatal(err)
 		}
-	} else if c, err := client.Dial(*addr); err == nil {
+	} else if c, err := client.Dial(cfg.addr); err == nil {
 		if raw, err := c.Stats(); err == nil {
 			var snap lockmgr.Snapshot
 			if json.Unmarshal(raw, &snap) == nil {
@@ -324,7 +385,9 @@ func checkBenchDoc(path string) error {
 	if len(doc.OpenLoop) < 4 {
 		return fmt.Errorf("open_loop has %d points, need >= 4", len(doc.OpenLoop))
 	}
-	for i, p := range append(append([]point{}, doc.ClosedLoop...), doc.OpenLoop...) {
+	all := append(append([]point{}, doc.ClosedLoop...), doc.OpenLoop...)
+	all = append(all, doc.ClusterLoop...)
+	for i, p := range all {
 		if p.Errors > 0 {
 			return fmt.Errorf("point %d: recorded with %d errors", i, p.Errors)
 		}
@@ -344,6 +407,28 @@ func checkBenchDoc(path string) error {
 	for i, p := range doc.OpenLoop {
 		if p.Mode != "open" || p.Rate <= 0 {
 			return fmt.Errorf("open_loop[%d]: not an open-loop point", i)
+		}
+	}
+	for i, p := range doc.ClusterLoop {
+		if p.Mode != "cluster" {
+			return fmt.Errorf("cluster_loop[%d]: not a cluster point", i)
+		}
+		if p.ClusterMembers < 1 {
+			return fmt.Errorf("cluster_loop[%d]: cluster_members missing", i)
+		}
+		if len(p.NodeShare) == 0 || len(p.NodeShare) > p.ClusterMembers {
+			return fmt.Errorf("cluster_loop[%d]: node_share has %d members for a %d-member cluster",
+				i, len(p.NodeShare), p.ClusterMembers)
+		}
+		var sum float64
+		for addr, s := range p.NodeShare {
+			if s <= 0 || s > 1 {
+				return fmt.Errorf("cluster_loop[%d]: implausible share %v for %s", i, s, addr)
+			}
+			sum += s
+		}
+		if sum < 0.999 || sum > 1.001 {
+			return fmt.Errorf("cluster_loop[%d]: node_share sums to %v, want 1", i, sum)
 		}
 	}
 	return nil
@@ -392,12 +477,18 @@ func run(cfg runCfg) (point, stats.Histogram) {
 	var wg sync.WaitGroup
 	for w := 0; w < cfg.conns; w++ {
 		w := w
+		if cfg.cluster {
+			workers[w].nodeOps = make(map[string]uint64)
+		}
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
-			if cfg.open {
+			switch {
+			case cfg.cluster:
+				runCluster(cfg, w, names, &workers[w], &stop, &gen)
+			case cfg.open:
 				runOpen(cfg, w, names, &workers[w], &stop, &gen)
-			} else {
+			default:
 				runClosed(cfg, w, names, &workers[w], &stop, &gen)
 			}
 		}()
@@ -417,23 +508,113 @@ func run(cfg runCfg) (point, stats.Histogram) {
 		total.pairs += workers[i].pairs
 		total.timeouts += workers[i].timeouts
 		total.errors += workers[i].errors
+		total.failover += workers[i].failover
 		total.lat.Merge(&workers[i].lat)
 	}
 	p := point{
 		ReadPct: cfg.readPct, Conns: cfg.conns, DurS: elapsed.Seconds(),
 		Pairs: total.pairs, OpsPerSec: float64(2*total.pairs) / elapsed.Seconds(),
-		Timeouts: total.timeouts, Errors: total.errors,
+		Timeouts: total.timeouts, Errors: total.errors, FailoverErrs: total.failover,
 		P50US: total.lat.Percentile(50) / 1e3, P95US: total.lat.Percentile(95) / 1e3,
 		P99US: total.lat.Percentile(99) / 1e3, P999US: total.lat.Percentile(99.9) / 1e3,
 		MeanUS: total.lat.Mean() / 1e3, MaxUS: float64(total.lat.Max()) / 1e3,
 	}
-	if cfg.open {
+	switch {
+	case cfg.cluster:
+		p.Mode, p.Depth = "cluster", cfg.depth
+		shares := make(map[string]uint64)
+		var served uint64
+		for i := range workers {
+			if workers[i].epoch > p.ClusterEpoch {
+				p.ClusterEpoch = workers[i].epoch
+			}
+			if workers[i].members > p.ClusterMembers {
+				p.ClusterMembers = workers[i].members
+			}
+			for addr, n := range workers[i].nodeOps {
+				shares[addr] += n
+				served += n
+			}
+		}
+		if served > 0 {
+			p.NodeShare = make(map[string]float64, len(shares))
+			for addr, n := range shares {
+				p.NodeShare[addr] = float64(n) / float64(served)
+			}
+		}
+	case cfg.open:
 		p.Mode, p.Rate = "open", cfg.rate
 		p.AchievedRate = float64(total.pairs) / elapsed.Seconds()
-	} else {
+	default:
 		p.Mode, p.Depth = "closed", cfg.depth
 	}
 	return p, total.lat
+}
+
+// runCluster is the cluster-mode worker: one Router per goroutine, every
+// transaction routed to its name's rendezvous owner, latency measured
+// per acquire+release pair (no pipelining — a Router op is a full round
+// trip, possibly several across a failover). Outcomes a member death
+// explains — no reachable owner within the retry budget, a session the
+// survivor's reaper expired, a hold that died with its node — count as
+// failover errors; anything else is a hard error and stops the worker.
+func runCluster(cfg runCfg, w int, names []string, res *worker, stop *atomic.Bool, gen *atomic.Uint32) {
+	r, err := client.NewRouter(client.RouterConfig{Seeds: cfg.seeds, Lease: cfg.lease})
+	if err != nil {
+		log.Printf("lockload: worker %d: router: %v", w, err)
+		res.errors++
+		return
+	}
+	defer r.Close()
+	defer func() {
+		res.epoch = r.Epoch()
+		res.members = len(r.Members())
+	}()
+	rng := rand.New(rand.NewSource(int64(w) + 1))
+	pick := cfg.picker(rng, len(names))
+	var lastGen uint32
+	for !stop.Load() {
+		if g := gen.Load(); g != lastGen {
+			lastGen = g
+			res.reset()
+		}
+		key := names[pick()]
+		excl := rng.Intn(100) >= cfg.readPct
+		t0 := time.Now()
+		err := r.Acquire(key, excl, cfg.wait)
+		switch {
+		case errors.Is(err, lockmgr.ErrTimeout):
+			res.timeouts++
+			continue
+		case errors.Is(err, client.ErrNoQuorum), errors.Is(err, lockmgr.ErrExpired):
+			res.failover++
+			continue
+		case err != nil:
+			log.Printf("lockload: worker %d: acquire %q: %v", w, key, err)
+			res.errors++
+			return
+		}
+		if cfg.hold > 0 {
+			time.Sleep(cfg.hold)
+		}
+		relErr := r.Release(key, excl)
+		switch {
+		case relErr == nil:
+			res.pairs++
+			res.lat.Add(uint64(time.Since(t0)))
+			res.nodeOps[r.Owner(key)]++
+		case errors.Is(relErr, lockmgr.ErrNotHeld), errors.Is(relErr, lockmgr.ErrExpired),
+			errors.Is(relErr, client.ErrNoQuorum):
+			// The owner died between acquire and release: the hold died
+			// with it (its successor answers NotHeld once the quarantine
+			// clears), or no successor was reachable yet.
+			res.failover++
+		default:
+			log.Printf("lockload: worker %d: release %q: %v", w, key, relErr)
+			res.errors++
+			return
+		}
+	}
 }
 
 // dialWorker opens one connection+session; errors count, not crash.

@@ -12,6 +12,7 @@ package client
 
 import (
 	"bufio"
+	"context"
 	"errors"
 	"fmt"
 	"net"
@@ -28,6 +29,17 @@ import (
 // can test for it with errors.Is instead of parsing net.OpError.
 var ErrClientClosed = errors.New("lockd client: connection closed")
 
+// Cluster errors. ErrNotOwner means the node addressed does not own the
+// name under its current membership; the response carried that
+// membership and Conn.Membership exposes it, so a router can re-aim.
+// ErrNoQuorum means an operation ran out of routing attempts — every
+// candidate owner was unreachable or denied ownership, which is what a
+// client sees from outside a partitioned or mid-failover cluster.
+var (
+	ErrNotOwner = errors.New("lockd client: node does not own this lock name")
+	ErrNoQuorum = errors.New("lockd client: no reachable owner for this lock name")
+)
+
 // Conn is one client connection to a lockd server.
 type Conn struct {
 	nc      net.Conn
@@ -36,15 +48,18 @@ type Conn struct {
 	wbuf    []byte
 	pending int
 	closed  bool
+
+	// Last membership seen in a NotOwner response or ClusterInfo reply.
+	member    wire.Membership
+	hasMember bool
 }
 
-// Dial connects to a lockd server at addr (host:port).
+// Dial connects to a lockd server at addr (host:port), retrying briefly
+// with the default Dialer's capped jittered backoff. For a context
+// deadline or custom retry policy use Dialer.Dial.
 func Dial(addr string) (*Conn, error) {
-	nc, err := net.Dial("tcp", addr)
-	if err != nil {
-		return nil, err
-	}
-	return &Conn{nc: nc, br: bufio.NewReaderSize(nc, 4096)}, nil
+	var d Dialer
+	return d.Dial(context.Background(), addr)
 }
 
 // Close closes the connection. Sessions opened on it live on until their
@@ -79,7 +94,30 @@ func (c *Conn) roundTrip(req *wire.Request) (wire.Response, error) {
 	if err != nil {
 		return wire.Response{}, err
 	}
-	return wire.DecodeResponse(p)
+	resp, err := wire.DecodeResponse(p)
+	if err == nil {
+		c.noteMembership(&resp)
+	}
+	return resp, err
+}
+
+// noteMembership captures the membership payload a NotOwner response
+// carries, so the caller can re-aim without an extra round trip.
+func (c *Conn) noteMembership(resp *wire.Response) {
+	if resp.Status != wire.StatusNotOwner || len(resp.Payload) == 0 {
+		return
+	}
+	if m, err := wire.DecodeMembership(resp.Payload); err == nil {
+		c.member = m // strings are copies; safe past the next read
+		c.hasMember = true
+	}
+}
+
+// Membership returns the most recent cluster membership this connection
+// has seen (from a NotOwner response or a ClusterInfo call), and whether
+// one has been seen at all.
+func (c *Conn) Membership() (wire.Membership, bool) {
+	return c.member, c.hasMember
 }
 
 // statusErr maps a response status to the manager's sentinel errors, so
@@ -96,6 +134,8 @@ func statusErr(st wire.Status) error {
 		return lockmgr.ErrNotHeld
 	case wire.StatusHeld:
 		return lockmgr.ErrHeld
+	case wire.StatusNotOwner:
+		return ErrNotOwner
 	default:
 		return fmt.Errorf("lockd: request rejected (status %d)", st)
 	}
@@ -218,9 +258,31 @@ func (c *Conn) Flush(errs []error) ([]error, error) {
 		if err != nil {
 			return errs, err
 		}
+		c.noteMembership(&resp)
 		errs = append(errs, statusErr(resp.Status))
 	}
 	return errs, nil
+}
+
+// ClusterInfo fetches the server's current cluster membership. On a
+// non-clustered server the membership is empty with epoch 0.
+func (c *Conn) ClusterInfo() (wire.Membership, error) {
+	resp, err := c.roundTrip(&wire.Request{Op: wire.OpClusterInfo})
+	if err != nil {
+		return wire.Membership{}, err
+	}
+	if err := statusErr(resp.Status); err != nil {
+		return wire.Membership{}, err
+	}
+	if len(resp.Payload) == 0 {
+		return wire.Membership{}, nil
+	}
+	m, err := wire.DecodeMembership(resp.Payload)
+	if err != nil {
+		return wire.Membership{}, err
+	}
+	c.member, c.hasMember = m, true
+	return m, nil
 }
 
 // Stats fetches the server's metrics snapshot as JSON.

@@ -1,0 +1,490 @@
+package client
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"math/rand"
+	"sync"
+	"time"
+
+	"fairrw/internal/lockmgr"
+	"fairrw/internal/lockmgr/cluster"
+	"fairrw/internal/lockmgr/wire"
+)
+
+// Router is the cluster-aware client: it caches the ownership map,
+// routes every op to the member that owns its name, and on NotOwner or
+// a transport failure refreshes the map and retries with capped
+// jittered backoff. Per-node Conns (and their sessions) are dialed
+// lazily on first use.
+//
+// Like Conn, a Router's operations are single-goroutine: give each
+// worker its own Router. The one background goroutine it runs is the
+// keepalive loop, which renews every per-node session over dedicated
+// keepalive connections — so a session stays alive even while the op
+// connection is blocked inside a parked acquire, which is what lets a
+// waiter survive the post-failover quarantine window (the ghost hold
+// outlives any single timed wait the manager would grant).
+//
+// Membership only shrinks (dead members never rejoin), so a live node
+// never loses a name it owns, and the Router can route a Release by the
+// current map: either the owner at acquire time is still the owner, or
+// it died and the hold died with it — the new owner answers NotHeld,
+// which the caller counts as a lost hold, not a routing error.
+type Router struct {
+	cfg RouterConfig
+
+	mu    sync.Mutex // guards map_, nodes, closed (ops are single-goroutine; the keepalive loop is not)
+	map_  *cluster.Map
+	nodes map[string]*routedNode
+
+	stop    chan struct{}
+	stopped sync.Once
+	wg      sync.WaitGroup
+}
+
+// RouterConfig configures a Router.
+type RouterConfig struct {
+	// Seeds are addresses to bootstrap the membership from — any
+	// subset of the cluster (one live member suffices).
+	Seeds []string
+	// Lease is the session lease requested on every node. Default 10s.
+	Lease time.Duration
+	// KeepAliveEvery is the background renewal period. Default Lease/3.
+	KeepAliveEvery time.Duration
+	// Dialer dials members. The zero value is replaced by a
+	// single-attempt dialer: the Router's own retry loop supplies the
+	// backoff and re-aims at survivors between attempts, so stacking
+	// the Dialer's multi-attempt backoff underneath it would multiply
+	// the failover delay — exactly the window the cluster works to keep
+	// short.
+	Dialer Dialer
+	// Retries is how many times one op re-aims after NotOwner, expired
+	// sessions, or transport failures before giving up with ErrNoQuorum.
+	// Default 8.
+	Retries int
+	// RetryBase and RetryMax bound the between-retry backoff. Defaults
+	// 10ms and 500ms. Retries×RetryMax should comfortably cover the
+	// cluster's death-detection window or mid-failover ops will give up
+	// before the map catches up.
+	RetryBase, RetryMax time.Duration
+}
+
+// routedNode is one member the Router has dialed: an op conn, a
+// keepalive conn, and the session shared by both.
+type routedNode struct {
+	addr string
+	conn *Conn // op conn: owned by the op goroutine
+	sid  uint64
+	// downUntil backs off redials after a dial failure (op goroutine
+	// only): a dead member would otherwise charge its full dial timeout
+	// to every routing attempt that still lands on it.
+	downUntil time.Time
+
+	kaMu   sync.Mutex
+	kaConn *Conn // keepalive conn: owned by the keepalive loop
+}
+
+// NewRouter bootstraps the membership from the seeds and starts the
+// keepalive loop. It fails only if no seed answers within the dialer's
+// patience.
+func NewRouter(cfg RouterConfig) (*Router, error) {
+	if len(cfg.Seeds) == 0 {
+		return nil, errors.New("lockd client: router needs at least one seed")
+	}
+	if cfg.Lease <= 0 {
+		cfg.Lease = 10 * time.Second
+	}
+	if cfg.KeepAliveEvery <= 0 {
+		cfg.KeepAliveEvery = cfg.Lease / 3
+	}
+	if cfg.Retries <= 0 {
+		cfg.Retries = 8
+	}
+	if cfg.RetryBase <= 0 {
+		cfg.RetryBase = 10 * time.Millisecond
+	}
+	if cfg.RetryMax <= 0 {
+		cfg.RetryMax = 500 * time.Millisecond
+	}
+	if cfg.Dialer == (Dialer{}) {
+		cfg.Dialer = Dialer{Attempts: 1}
+	}
+	r := &Router{
+		cfg:   cfg,
+		nodes: make(map[string]*routedNode),
+		stop:  make(chan struct{}),
+	}
+	if err := r.bootstrap(); err != nil {
+		return nil, err
+	}
+	r.wg.Add(1)
+	go r.keepAliveLoop()
+	return r, nil
+}
+
+// bootstrap learns the initial membership from any answering seed. A
+// single-node, non-clustered server answers ClusterInfo with an empty
+// membership; the Router then treats that seed as the sole owner.
+func (r *Router) bootstrap() error {
+	var lastErr error
+	for _, seed := range r.cfg.Seeds {
+		c, err := r.cfg.Dialer.Dial(context.Background(), seed)
+		if err != nil {
+			lastErr = err
+			continue
+		}
+		wm, err := c.ClusterInfo()
+		c.Close()
+		if err != nil {
+			lastErr = err
+			continue
+		}
+		if len(wm.Members) == 0 {
+			// Not clustered: this seed owns everything.
+			wm = wire.Membership{Epoch: 0, Members: []string{seed}}
+		}
+		m, err := cluster.FromMembership(&wm)
+		if err != nil {
+			lastErr = err
+			continue
+		}
+		r.map_ = m
+		return nil
+	}
+	return fmt.Errorf("%w: no seed reachable: %v", ErrNoQuorum, lastErr)
+}
+
+// Close closes every per-node connection and stops the keepalive loop.
+// Sessions are closed best-effort so holds release immediately instead
+// of waiting out their leases.
+func (r *Router) Close() error {
+	r.stopped.Do(func() { close(r.stop) })
+	r.wg.Wait()
+	r.mu.Lock()
+	nodes := r.nodes
+	r.nodes = map[string]*routedNode{}
+	r.mu.Unlock()
+	for _, n := range nodes {
+		if n.conn != nil {
+			if n.sid != 0 {
+				n.conn.CloseSession(n.sid)
+			}
+			n.conn.Close()
+		}
+		n.kaMu.Lock()
+		if n.kaConn != nil {
+			n.kaConn.Close()
+			n.kaConn = nil
+		}
+		n.kaMu.Unlock()
+	}
+	return nil
+}
+
+// Epoch reports the cached membership epoch.
+func (r *Router) Epoch() uint64 {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.map_.Epoch()
+}
+
+// Members reports the cached member list.
+func (r *Router) Members() []string {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.map_.Members()
+}
+
+// Owner reports which member the cached map routes name to.
+func (r *Router) Owner(name string) string {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.map_.Owner(name)
+}
+
+// adopt installs a membership iff it is strictly newer than the cached
+// one, closing conns to members that left. Epochs only rise, so "newer"
+// is a plain comparison and stale NotOwner payloads are ignored.
+func (r *Router) adopt(wm wire.Membership) {
+	m, err := cluster.FromMembership(&wm)
+	if err != nil || m.Len() == 0 {
+		return
+	}
+	r.mu.Lock()
+	if m.Epoch() <= r.map_.Epoch() {
+		r.mu.Unlock()
+		return
+	}
+	r.map_ = m
+	var gone []*routedNode
+	for addr, n := range r.nodes {
+		if !m.Contains(addr) {
+			gone = append(gone, n)
+			delete(r.nodes, addr)
+		}
+	}
+	r.mu.Unlock()
+	for _, n := range gone {
+		if n.conn != nil {
+			n.conn.Close()
+		}
+		n.kaMu.Lock()
+		if n.kaConn != nil {
+			n.kaConn.Close()
+			n.kaConn = nil
+		}
+		n.kaMu.Unlock()
+	}
+}
+
+// Refresh asks any reachable member for its membership and adopts it if
+// newer. Used when the cached owner of a name is unreachable: some
+// survivor will eventually publish a map without it.
+func (r *Router) Refresh() { r.refresh("") }
+
+// refresh polls members for a newer membership, skipping skip — the
+// member that just failed, which would charge a pointless dial (or its
+// cooldown) to every refresh while teaching the Router nothing.
+func (r *Router) refresh(skip string) {
+	r.mu.Lock()
+	members := r.map_.Members()
+	r.mu.Unlock()
+	for _, addr := range members {
+		if addr == skip {
+			continue
+		}
+		n, err := r.nodeConn(addr)
+		if err != nil {
+			continue
+		}
+		wm, err := n.conn.ClusterInfo()
+		if err != nil {
+			r.dropConn(n)
+			continue
+		}
+		if len(wm.Members) > 0 {
+			r.adopt(wm)
+		}
+		return
+	}
+}
+
+// nodeConn returns the routedNode for addr with its op conn dialed but
+// WITHOUT opening a session. Membership polls use this directly:
+// ClusterInfo needs no session, and a session opened as a refresh side
+// effect just before a failover is exactly the stale lease that later
+// under-bounds a parked acquire (see Acquire).
+func (r *Router) nodeConn(addr string) (*routedNode, error) {
+	r.mu.Lock()
+	n := r.nodes[addr]
+	if n == nil {
+		n = &routedNode{addr: addr}
+		r.nodes[addr] = n
+	}
+	r.mu.Unlock()
+	if n.conn == nil {
+		if now := time.Now(); now.Before(n.downUntil) {
+			return nil, fmt.Errorf("lockd client: %s cooling down after failed dial", addr)
+		}
+		c, err := r.cfg.Dialer.Dial(context.Background(), addr)
+		if err != nil {
+			n.downUntil = time.Now().Add(r.cfg.RetryMax / 2)
+			return nil, err
+		}
+		n.downUntil = time.Time{}
+		n.conn = c
+	}
+	return n, nil
+}
+
+// node returns the routedNode for addr, dialing and opening its session
+// lazily.
+func (r *Router) node(addr string) (*routedNode, error) {
+	n, err := r.nodeConn(addr)
+	if err != nil {
+		return nil, err
+	}
+	if n.sid == 0 {
+		sid, err := n.conn.Open(r.cfg.Lease)
+		if err != nil {
+			r.dropConn(n)
+			return nil, err
+		}
+		r.mu.Lock()
+		n.sid = sid
+		r.mu.Unlock()
+	}
+	return n, nil
+}
+
+// dropConn discards a node's op conn and session after a transport
+// error; the next op redials.
+func (r *Router) dropConn(n *routedNode) {
+	if n.conn != nil {
+		n.conn.Close()
+		n.conn = nil
+	}
+	r.mu.Lock()
+	n.sid = 0
+	r.mu.Unlock()
+}
+
+func (r *Router) retryBackoff(attempt int) time.Duration {
+	b := r.cfg.RetryBase << uint(attempt)
+	if b > r.cfg.RetryMax || b <= 0 {
+		b = r.cfg.RetryMax
+	}
+	return b/2 + time.Duration(rand.Int63n(int64(b)))
+}
+
+// Acquire routes an acquire to name's owner. wait follows
+// lockmgr.Acquire, and a positive wait bounds the total time across
+// re-aims, failovers, and retries. The server clamps each parked wait
+// to the session's remaining lease, so a single attempt can time out
+// with budget left (most visibly while a failover quarantine is still
+// running down); such early timeouts are retried — the keepalive loop
+// renews the session between attempts — until the budget is spent.
+func (r *Router) Acquire(name string, excl bool, wait time.Duration) error {
+	attempt := func(w time.Duration) error {
+		return r.do(name, func(n *routedNode) error {
+			return n.conn.Acquire(n.sid, name, excl, w)
+		})
+	}
+	if wait <= 0 {
+		return attempt(wait)
+	}
+	deadline := time.Now().Add(wait)
+	for {
+		remain := time.Until(deadline)
+		if remain <= 0 {
+			return lockmgr.ErrTimeout
+		}
+		err := attempt(remain)
+		if !errors.Is(err, lockmgr.ErrTimeout) || time.Until(deadline) <= r.cfg.RetryBase {
+			return err
+		}
+		time.Sleep(r.cfg.RetryBase)
+	}
+}
+
+// Release routes a release to name's current owner.
+func (r *Router) Release(name string, excl bool) error {
+	return r.do(name, func(n *routedNode) error {
+		return n.conn.Release(n.sid, name, excl)
+	})
+}
+
+// do is the routing loop: aim at the cached owner, and on NotOwner /
+// expired session / transport failure, refresh and retry with backoff.
+// Definitive outcomes — nil, ErrTimeout, ErrNotHeld, ErrHeld — return
+// immediately.
+func (r *Router) do(name string, op func(*routedNode) error) error {
+	var lastErr error
+	for attempt := 0; ; attempt++ {
+		if attempt > r.cfg.Retries {
+			return fmt.Errorf("%w: %q after %d attempts: %v", ErrNoQuorum, name, attempt, lastErr)
+		}
+		if attempt > 0 {
+			time.Sleep(r.retryBackoff(attempt - 1))
+		}
+		r.mu.Lock()
+		owner := r.map_.Owner(name)
+		r.mu.Unlock()
+		if owner == "" {
+			lastErr = errors.New("empty membership")
+			r.Refresh()
+			continue
+		}
+		n, err := r.node(owner)
+		if err != nil {
+			// Owner unreachable — likely dead but not yet detected by
+			// the cluster; poll survivors until an epoch bump reroutes.
+			lastErr = err
+			r.refresh(owner)
+			continue
+		}
+		err = op(n)
+		switch {
+		case err == nil:
+			return nil
+		case errors.Is(err, ErrNotOwner):
+			lastErr = err
+			if wm, ok := n.conn.Membership(); ok {
+				r.adopt(wm)
+			}
+			// An isolated (quorum-less) node answers NotOwner while
+			// still naming itself the owner; Refresh would learn
+			// nothing newer from it, and the backoff above keeps the
+			// probe loop polite until a majority view reappears.
+			continue
+		case errors.Is(err, lockmgr.ErrExpired):
+			// Session lapsed (e.g. this client stalled past its lease).
+			// Reopen on the same node and retry.
+			lastErr = err
+			r.mu.Lock()
+			n.sid = 0
+			r.mu.Unlock()
+			continue
+		case errors.Is(err, lockmgr.ErrTimeout), errors.Is(err, lockmgr.ErrNotHeld), errors.Is(err, lockmgr.ErrHeld):
+			return err // definitive answer from the owner
+		default:
+			// Transport failure mid-op: the conn is unusable either way.
+			lastErr = err
+			r.dropConn(n)
+			r.refresh(owner)
+			continue
+		}
+	}
+}
+
+// keepAliveLoop renews every dialed node's session over a dedicated
+// keepalive connection, so sessions survive while the op conn is blocked
+// in a parked acquire. Sessions are connection-independent, which is
+// what makes this legal.
+func (r *Router) keepAliveLoop() {
+	defer r.wg.Done()
+	t := time.NewTicker(r.cfg.KeepAliveEvery)
+	defer t.Stop()
+	for {
+		select {
+		case <-r.stop:
+			return
+		case <-t.C:
+		}
+		r.mu.Lock()
+		nodes := make([]*routedNode, 0, len(r.nodes))
+		for _, n := range r.nodes {
+			if n.sid != 0 {
+				nodes = append(nodes, n)
+			}
+		}
+		r.mu.Unlock()
+		for _, n := range nodes {
+			r.keepAliveNode(n)
+		}
+	}
+}
+
+func (r *Router) keepAliveNode(n *routedNode) {
+	r.mu.Lock()
+	sid := n.sid
+	r.mu.Unlock()
+	if sid == 0 {
+		return
+	}
+	n.kaMu.Lock()
+	defer n.kaMu.Unlock()
+	if n.kaConn == nil {
+		c, err := r.cfg.Dialer.Dial(context.Background(), n.addr)
+		if err != nil {
+			return // node likely dead; the op path will reroute
+		}
+		n.kaConn = c
+	}
+	if err := n.kaConn.KeepAlive(sid, r.cfg.Lease); err != nil && !errors.Is(err, lockmgr.ErrExpired) {
+		n.kaConn.Close()
+		n.kaConn = nil
+	}
+}

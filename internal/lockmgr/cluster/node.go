@@ -1,0 +1,481 @@
+package cluster
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"fairrw/internal/lockmgr"
+	"fairrw/internal/lockmgr/wire"
+)
+
+// Node is one lockd process's view of the cluster: the current
+// ownership map, outbound heartbeats to every peer, and the quarantine
+// machinery that makes failover safe.
+//
+// Liveness is symmetric and unilateral: every node holds a session on
+// every peer (OpOpen + periodic OpKeepAlive over the ordinary wire
+// protocol — a heartbeat is just a tiny client) and declares a peer dead
+// after SuspectAfter consecutive transport failures. On death the peer
+// is removed from the map at a bumped epoch, so its names rehash to
+// survivors; rendezvous hashing guarantees nothing else moves.
+//
+// Safety: a client of the dead node may still believe it holds a lock —
+// its lease, granted by the dead node, runs for up to MaxLease past its
+// last renewal, which is at most FailoverWindow past the moment we
+// noticed the death. So for each name inherited from the dead member,
+// the survivor takes an exclusive "ghost" hold (lazily, the first time
+// an acquire for that name arrives) under a ghost session whose lease is
+// FailoverWindow and which is never kept alive. Real acquires queue
+// FIFO behind the ghost; when the existing lease reaper expires the
+// ghost session it revokes every ghost hold, and the head waiter is
+// granted — exactly once, in arrival order, by machinery that predates
+// the cluster.
+//
+// Split-brain: a node that can no longer reach a majority of the
+// INITIAL membership stops serving (every op answers NotOwner). The
+// quorum is measured against the initial size, not the current map —
+// a partitioned minority also shrinks its current map, and measuring
+// against that would let it vote itself a quorum of one. A 2-node
+// cluster therefore freezes when either node dies: documented, and the
+// reason the smoke tests run 3 nodes. Dead members never rejoin; a
+// redeploy restarts the cluster at a fresh epoch.
+type Node struct {
+	cfg      Config
+	initialN int
+	quorum   int // initialN/2 + 1
+
+	cur      atomic.Pointer[Map]
+	isolated atomic.Bool
+	nquar    atomic.Int32 // fast-path gate: 0 = no active quarantines
+
+	mu    sync.Mutex
+	quars []*quarantine
+	peers map[string]*peerState
+
+	stop    chan struct{}
+	stopped sync.Once
+	wg      sync.WaitGroup
+}
+
+// Config configures a Node.
+type Config struct {
+	// Self is this node's client-facing listen address, exactly as it
+	// appears in Members.
+	Self string
+	// Members is the full initial member list, Self included. Order is
+	// irrelevant (the map sorts).
+	Members []string
+	// Manager is the local lock manager ghost holds are taken on.
+	Manager *lockmgr.Manager
+	// Interval is the heartbeat period. Default 250ms.
+	Interval time.Duration
+	// SuspectAfter is how many consecutive heartbeat failures kill a
+	// peer. Default 3.
+	SuspectAfter int
+	// FailoverWindow is the ghost-hold quarantine after a death: no
+	// inherited name is granted until this much time has passed, so
+	// every lease the dead node granted has expired. Must be at least
+	// the cluster-wide MaxLease (lockd wires exactly that); the manager
+	// clamps the ghost session's lease to MaxLease anyway. Default 1m.
+	FailoverWindow time.Duration
+	// BootGrace is how long after Start a peer that has never answered
+	// is forgiven its misses — cluster members boot staggered, and a
+	// peer that is merely still starting must not be declared dead.
+	// Once a peer has answered even once, SuspectAfter applies in full.
+	// Default 20× Interval.
+	BootGrace time.Duration
+	// Logf, when set, receives one line per membership event.
+	Logf func(format string, args ...any)
+}
+
+// quarantine tracks one dead member's names through their unsafe window.
+type quarantine struct {
+	prev     *Map   // membership before the death: prev.Owner(name)==dead ⇒ name moved
+	dead     string
+	ghostSID uint64
+	deadline time.Time
+	taken    map[string]struct{}
+}
+
+type peerState struct {
+	addr    string
+	lastAck atomic.Int64 // unix nanos of last successful exchange; 0 = never
+	dead    atomic.Bool
+}
+
+// NewNode validates cfg and builds the node at epoch 1. Call Start to
+// begin heartbeating.
+func NewNode(cfg Config) (*Node, error) {
+	if cfg.Manager == nil {
+		return nil, errors.New("cluster: Config.Manager is required")
+	}
+	if cfg.Interval <= 0 {
+		cfg.Interval = 250 * time.Millisecond
+	}
+	if cfg.SuspectAfter <= 0 {
+		cfg.SuspectAfter = 3
+	}
+	if cfg.FailoverWindow <= 0 {
+		cfg.FailoverWindow = time.Minute
+	}
+	if cfg.BootGrace <= 0 {
+		cfg.BootGrace = 20 * cfg.Interval
+	}
+	m, err := NewMap(1, cfg.Members)
+	if err != nil {
+		return nil, err
+	}
+	if m.Len() == 0 {
+		return nil, errors.New("cluster: empty member list")
+	}
+	if !m.Contains(cfg.Self) {
+		return nil, fmt.Errorf("cluster: self %q not in member list %v", cfg.Self, m.Members())
+	}
+	n := &Node{
+		cfg:      cfg,
+		initialN: m.Len(),
+		quorum:   m.Len()/2 + 1,
+		peers:    make(map[string]*peerState, m.Len()-1),
+		stop:     make(chan struct{}),
+	}
+	n.cur.Store(m)
+	for _, addr := range m.Members() {
+		if addr != cfg.Self {
+			n.peers[addr] = &peerState{addr: addr}
+		}
+	}
+	return n, nil
+}
+
+// Start launches one heartbeat loop per peer.
+func (n *Node) Start() {
+	for _, ps := range n.peers {
+		n.wg.Add(1)
+		go n.heartbeat(ps)
+	}
+}
+
+// Stop halts heartbeats and waits for the loops to exit.
+func (n *Node) Stop() {
+	n.stopped.Do(func() { close(n.stop) })
+	n.wg.Wait()
+}
+
+// Self returns this node's member address.
+func (n *Node) Self() string { return n.cfg.Self }
+
+// Current returns the current ownership map.
+func (n *Node) Current() *Map { return n.cur.Load() }
+
+// Epoch reports the current membership epoch (part of the server's
+// Cluster interface, scraped as lockd_cluster_epoch).
+func (n *Node) Epoch() uint64 { return n.cur.Load().Epoch() }
+
+// MemberCount reports the current member count (lockd_cluster_members).
+func (n *Node) MemberCount() int { return n.cur.Load().Len() }
+
+// StatusJSON renders the admin-plane /cluster document.
+func (n *Node) StatusJSON() ([]byte, error) {
+	return json.MarshalIndent(n.Status(), "", " ")
+}
+
+// Isolated reports whether this node lost quorum and stopped serving.
+func (n *Node) Isolated() bool { return n.isolated.Load() }
+
+// GateOp decides whether this node may execute an op on name: it must
+// own the name under the current map and still hold quorum. acquire
+// additionally arms the ghost quarantine for names inherited from a
+// dead member. The server answers StatusNotOwner when this returns
+// false. Steady state (no recent death) costs one map lookup and two
+// atomic loads — no locks, no allocation.
+func (n *Node) GateOp(name []byte, acquire bool) bool {
+	if n.isolated.Load() {
+		return false
+	}
+	m := n.cur.Load()
+	if m.OwnerBytes(name) != n.cfg.Self {
+		return false
+	}
+	if acquire && n.nquar.Load() > 0 {
+		n.applyQuarantine(name)
+	}
+	return true
+}
+
+// applyQuarantine takes the ghost hold for name if any active
+// quarantine says its previous owner died. Idempotent per name.
+func (n *Node) applyQuarantine(name []byte) {
+	now := time.Now()
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	live := n.quars[:0]
+	for _, q := range n.quars {
+		if now.After(q.deadline) {
+			continue // window passed; the reaper has already revoked
+		}
+		live = append(live, q)
+		if q.prev.OwnerBytes(name) != q.dead {
+			continue
+		}
+		s := string(name)
+		if _, ok := q.taken[s]; ok {
+			continue
+		}
+		q.taken[s] = struct{}{}
+		// Try-acquire: the name just moved here, so nothing local holds
+		// it; a failure means a ghost from an older overlapping
+		// quarantine already covers it, which is just as safe.
+		if err := n.cfg.Manager.Acquire(q.ghostSID, s, true, 0); err != nil &&
+			!errors.Is(err, lockmgr.ErrTimeout) && !errors.Is(err, lockmgr.ErrHeld) {
+			n.logf("cluster: ghost hold %q after %s death: %v", s, q.dead, err)
+		}
+	}
+	n.quars = live
+	n.nquar.Store(int32(len(live)))
+}
+
+// declareDead removes peer from the map, bumps the epoch, opens the
+// ghost session, and re-checks quorum. Idempotent.
+func (n *Node) declareDead(ps *peerState) {
+	ps.dead.Store(true)
+	n.mu.Lock()
+	cur := n.cur.Load()
+	if !cur.Contains(ps.addr) {
+		n.mu.Unlock()
+		return
+	}
+	next := cur.Without(ps.addr)
+	sid, err := n.cfg.Manager.Open(n.cfg.FailoverWindow)
+	if err == nil {
+		n.quars = append(n.quars, &quarantine{
+			prev:     cur,
+			dead:     ps.addr,
+			ghostSID: sid,
+			deadline: time.Now().Add(n.cfg.FailoverWindow),
+			taken:    make(map[string]struct{}),
+		})
+		n.nquar.Store(int32(len(n.quars)))
+	}
+	n.cur.Store(next)
+	lost := next.Len() < n.quorum
+	if lost {
+		n.isolated.Store(true)
+	}
+	n.mu.Unlock()
+	if err != nil {
+		n.logf("cluster: ghost session after %s death: %v", ps.addr, err)
+	}
+	n.logf("cluster: member %s dead; epoch %d -> %d, %d/%d members%s",
+		ps.addr, cur.Epoch(), next.Epoch(), next.Len(), n.initialN,
+		map[bool]string{true: " — QUORUM LOST, refusing ops", false: ""}[lost])
+}
+
+// heartbeat keeps one session alive on a peer and declares it dead
+// after SuspectAfter consecutive transport failures. Any response —
+// even StatusExpired after a peer restart — counts as liveness; only
+// dials and round trips that fail at the transport count as misses.
+func (n *Node) heartbeat(ps *peerState) {
+	defer n.wg.Done()
+	var (
+		conn   net.Conn
+		sid    uint64
+		misses int
+		buf    []byte
+	)
+	defer func() {
+		if conn != nil {
+			conn.Close()
+		}
+	}()
+	// The session we hold on the peer needs to outlive a few missed
+	// beats so a slow scheduler doesn't churn sessions.
+	lease := time.Duration(n.cfg.SuspectAfter+2) * n.cfg.Interval
+	bootDeadline := time.Now().Add(n.cfg.BootGrace)
+	everAcked := false
+	t := time.NewTicker(n.cfg.Interval)
+	defer t.Stop()
+	for {
+		select {
+		case <-n.stop:
+			return
+		case <-t.C:
+		}
+		ok := false
+		if conn == nil {
+			c, err := net.DialTimeout("tcp", ps.addr, n.cfg.Interval)
+			if err == nil {
+				if sid, err = hbRound(c, n.cfg.Interval, &buf, wire.OpOpen, 0, lease); err == nil {
+					conn, ok = c, true
+				} else {
+					c.Close()
+				}
+			}
+		} else {
+			_, err := hbRound(conn, n.cfg.Interval, &buf, wire.OpKeepAlive, sid, lease)
+			if err == nil {
+				ok = true
+			} else if errors.Is(err, errHBExpired) {
+				// Peer is alive but forgot us (restart or reaper); reopen
+				// next tick on the same conn.
+				if sid, err = hbRound(conn, n.cfg.Interval, &buf, wire.OpOpen, 0, lease); err == nil {
+					ok = true
+				}
+			}
+			if !ok {
+				conn.Close()
+				conn = nil
+			}
+		}
+		if ok {
+			misses = 0
+			everAcked = true
+			ps.lastAck.Store(time.Now().UnixNano())
+			continue
+		}
+		if !everAcked && time.Now().Before(bootDeadline) {
+			continue // peer still booting; misses don't count yet
+		}
+		if misses++; misses >= n.cfg.SuspectAfter {
+			n.declareDead(ps)
+			return // members never rejoin
+		}
+	}
+}
+
+var errHBExpired = errors.New("cluster: heartbeat session expired")
+
+// hbRound performs one request/response exchange on a heartbeat conn.
+// It returns the response SID (the new session id for OpOpen).
+func hbRound(c net.Conn, timeout time.Duration, buf *[]byte, op wire.Op, sid uint64, lease time.Duration) (uint64, error) {
+	frame, err := wire.AppendRequestFrame((*buf)[:0], &wire.Request{Op: op, SID: sid, Lease: int64(lease)})
+	if err != nil {
+		return 0, err
+	}
+	if err := c.SetDeadline(time.Now().Add(timeout)); err != nil {
+		return 0, err
+	}
+	if _, err := c.Write(frame); err != nil {
+		return 0, err
+	}
+	p, err := wire.ReadFrame(c, buf)
+	if err != nil {
+		return 0, err
+	}
+	resp, err := wire.DecodeResponse(p)
+	if err != nil {
+		return 0, err
+	}
+	if resp.Status == wire.StatusExpired {
+		return 0, errHBExpired
+	}
+	if resp.Status != wire.StatusOK {
+		return 0, fmt.Errorf("cluster: heartbeat op %d: status %d", op, resp.Status)
+	}
+	return resp.SID, nil
+}
+
+// AppendMembership appends the current membership's wire encoding to
+// buf — the payload of StatusNotOwner responses and OpClusterInfo
+// replies.
+func (n *Node) AppendMembership(buf []byte) []byte {
+	wm := n.cur.Load().Membership()
+	out, err := wire.AppendMembership(buf, &wm)
+	if err != nil {
+		// Unreachable: the map enforces the same bounds as the codec.
+		return buf
+	}
+	return out
+}
+
+// PeerStatus is one peer's liveness as seen from this node.
+type PeerStatus struct {
+	Addr      string  `json:"addr"`
+	Dead      bool    `json:"dead"`
+	LastAckMS float64 `json:"last_ack_ms"` // age of last successful beat; -1 = never
+}
+
+// Status is the admin-plane view of the cluster.
+type Status struct {
+	Self           string             `json:"self"`
+	Epoch          uint64             `json:"epoch"`
+	Members        []string           `json:"members"`
+	InitialMembers int                `json:"initial_members"`
+	Quorum         int                `json:"quorum"`
+	Isolated       bool               `json:"isolated"`
+	Shares         map[string]float64 `json:"owned_share"` // estimated namespace share per member
+	Peers          []PeerStatus       `json:"peers"`
+	Quarantines    int                `json:"active_quarantines"`
+}
+
+// shareProbes sizes the synthetic sample behind the owned-share
+// estimate. Rendezvous hashing is uniform, so ~4k probes pin each share
+// to within a couple of percent.
+const shareProbes = 4096
+
+// Status assembles the admin view. Shares are estimated by hashing a
+// fixed synthetic sample of names, not by walking live locks — it
+// reports the namespace split the map implies, which is what capacity
+// planning wants.
+func (n *Node) Status() Status {
+	m := n.cur.Load()
+	st := Status{
+		Self:           n.cfg.Self,
+		Epoch:          m.Epoch(),
+		Members:        m.Members(),
+		InitialMembers: n.initialN,
+		Quorum:         n.quorum,
+		Isolated:       n.isolated.Load(),
+		Shares:         make(map[string]float64, m.Len()),
+	}
+	var probe [16]byte
+	for i := 0; i < shareProbes; i++ {
+		p := appendProbe(probe[:0], i)
+		st.Shares[m.OwnerBytes(p)] += 1.0 / shareProbes
+	}
+	now := time.Now()
+	n.mu.Lock()
+	st.Quarantines = len(n.quars)
+	n.mu.Unlock()
+	for _, addr := range st.Members {
+		if addr == n.cfg.Self {
+			continue
+		}
+		ps := n.peers[addr]
+		if ps == nil {
+			continue
+		}
+		p := PeerStatus{Addr: addr, Dead: ps.dead.Load(), LastAckMS: -1}
+		if ack := ps.lastAck.Load(); ack > 0 {
+			p.LastAckMS = float64(now.UnixNano()-ack) / 1e6
+		}
+		st.Peers = append(st.Peers, p)
+	}
+	return st
+}
+
+// appendProbe formats "probe-<i>" without fmt so Status stays cheap.
+func appendProbe(b []byte, i int) []byte {
+	b = append(b, 'p', 'r', 'o', 'b', 'e', '-')
+	if i == 0 {
+		return append(b, '0')
+	}
+	var d [8]byte
+	j := len(d)
+	for i > 0 {
+		j--
+		d[j] = byte('0' + i%10)
+		i /= 10
+	}
+	return append(b, d[j:]...)
+}
+
+func (n *Node) logf(format string, args ...any) {
+	if n.cfg.Logf != nil {
+		n.cfg.Logf(format, args...)
+	}
+}

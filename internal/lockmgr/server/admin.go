@@ -143,17 +143,28 @@ type MetricsPayload struct {
 	Manager  lockmgr.Snapshot      `json:"manager"`
 	Workers  []WorkerStats         `json:"workers"`
 	HotLocks []lockmgr.LockProfile `json:"hot_locks"`
+
+	// Cluster shape, present only on clustered servers: the membership
+	// epoch and member count at the scrape. The full document — shares,
+	// heartbeat ages, quarantines — lives on /cluster.
+	ClusterEpoch   uint64 `json:"cluster_epoch,omitempty"`
+	ClusterMembers int    `json:"cluster_members,omitempty"`
 }
 
 // Metrics assembles the full observability payload.
 func (s *Server) Metrics(bi BuildInfo, topK int) MetricsPayload {
-	return MetricsPayload{
+	p := MetricsPayload{
 		Build:    bi,
 		Affinity: s.Affinity(),
 		Manager:  s.m.Stats(),
 		Workers:  s.WorkerStats(),
 		HotLocks: s.m.HotLocks(topK),
 	}
+	if s.cluster != nil {
+		p.ClusterEpoch = s.cluster.Epoch()
+		p.ClusterMembers = s.cluster.MemberCount()
+	}
+	return p
 }
 
 // WriteProm renders the full metrics set in the Prometheus text
@@ -184,6 +195,11 @@ func (s *Server) WriteProm(w io.Writer, bi BuildInfo, topK int) {
 	pw.Gauge("lockd_waiting", "", float64(snap.Waiting))
 
 	pw.Gauge("lockd_affinity", "", boolGauge(s.Affinity()))
+
+	if s.cluster != nil {
+		pw.Gauge("lockd_cluster_epoch", "", float64(s.cluster.Epoch()))
+		pw.Gauge("lockd_cluster_members", "", float64(s.cluster.MemberCount()))
+	}
 
 	wh := s.m.WaitHistogram()
 	wh.WriteProm(w, "lockd_wait_seconds", "", 1e-9)
@@ -238,6 +254,7 @@ func (s *Server) WriteProm(w io.Writer, bi BuildInfo, topK int) {
 //	/metrics        Prometheus text exposition
 //	/metrics.json   MetricsPayload as JSON (?k= hot-lock depth)
 //	/hotlocks       the hot-lock table alone (?k= depth)
+//	/cluster        cluster membership, shares, heartbeat ages (JSON)
 //	/flight         flight-recorder dump, oldest event first
 //	/debug/pprof/   the standard net/http/pprof surface
 //
@@ -260,6 +277,19 @@ func (s *Server) AdminHandler(bi BuildInfo) http.Handler {
 		enc := json.NewEncoder(w)
 		enc.SetIndent("", " ")
 		enc.Encode(s.m.HotLocks(hotK(r)))
+	})
+	mux.HandleFunc("/cluster", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		if s.cluster == nil {
+			fmt.Fprintln(w, `{"clustered":false}`)
+			return
+		}
+		doc, err := s.cluster.StatusJSON()
+		if err != nil {
+			http.Error(w, err.Error(), http.StatusInternalServerError)
+			return
+		}
+		w.Write(doc)
 	})
 	mux.HandleFunc("/flight", func(w http.ResponseWriter, r *http.Request) {
 		w.Header().Set("Content-Type", "text/plain; charset=utf-8")

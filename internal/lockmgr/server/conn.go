@@ -55,7 +55,7 @@ type conn struct {
 	wb          *wire.Buffer // pooled backing store for wbuf
 	wbuf        []byte       // encoded responses awaiting the wakeup's flush
 	parked      bool         // a blocking acquire is in flight for this conn
-	statsWant   bool         // parse stopped at an OpStats frame
+	want        uint8        // parse stopped at a frame answered inline between batches
 	dead        bool         // connection condemned; cleanup pending
 	removed     bool         // retired from the worker; ignore late events
 	eofSeen     bool         // worker has observed the reader's eof
@@ -109,6 +109,16 @@ const (
 	fwdFree    = 0
 	fwdPending = 1
 	fwdDone    = 2
+)
+
+// want values: frames the parse loop cannot answer from the batch
+// results. They stop the parse (preserving per-connection response
+// order) and are answered between batches by answerWant.
+const (
+	wantNone     = 0
+	wantStats    = 1 // OpStats: metrics snapshot JSON
+	wantInfo     = 2 // OpClusterInfo: membership payload
+	wantNotOwner = 3 // acquire/release gated off by cluster ownership
 )
 
 // readLoop is the reader goroutine: blocking (netpoller-driven) reads

@@ -54,6 +54,32 @@ type Config struct {
 	// with the manager's Config.Recorder so one dump interleaves both
 	// layers' views of the same acquire.
 	Recorder *introspect.Recorder
+	// Cluster, when non-nil, gates named ops by distributed ownership
+	// (implemented by cluster.Node): an acquire or release for a name
+	// this node does not own under the current membership is answered
+	// StatusNotOwner with the membership attached, and OpClusterInfo
+	// reports the membership. nil = not clustered; OpClusterInfo then
+	// answers OK with an empty payload.
+	Cluster Cluster
+}
+
+// Cluster is the server's hook into the cluster layer. It is consulted
+// on the parse path under a worker's loop mutex, so implementations
+// must not block: GateOp in steady state is a map lookup and two atomic
+// loads.
+type Cluster interface {
+	// GateOp reports whether this node may execute an op on name. The
+	// byte slice aliases the parse buffer and must not be retained.
+	// acquire distinguishes acquires (which may arm failover
+	// quarantines) from releases.
+	GateOp(name []byte, acquire bool) bool
+	// AppendMembership appends the current membership's wire encoding.
+	AppendMembership(buf []byte) []byte
+	// Epoch and MemberCount describe the current map for metrics.
+	Epoch() uint64
+	MemberCount() int
+	// StatusJSON renders the admin-plane cluster document.
+	StatusJSON() ([]byte, error)
 }
 
 func (c *Config) fill() {
@@ -70,9 +96,10 @@ func (c *Config) fill() {
 
 // Server serves one Manager over TCP.
 type Server struct {
-	m   *lockmgr.Manager
-	cfg Config
-	rec *introspect.Recorder // alias of cfg.Recorder (nil = disabled)
+	m       *lockmgr.Manager
+	cfg     Config
+	rec     *introspect.Recorder // alias of cfg.Recorder (nil = disabled)
+	cluster Cluster              // alias of cfg.Cluster (nil = not clustered)
 
 	workers []*worker
 	// owner maps manager shard index → home worker index, the
@@ -118,6 +145,7 @@ func NewWithConfig(m *lockmgr.Manager, cfg Config) *Server {
 		m:       m,
 		cfg:     cfg,
 		rec:     cfg.Recorder,
+		cluster: cfg.Cluster,
 		drainCh: make(chan struct{}),
 		conns:   make(map[*conn]struct{}),
 	}

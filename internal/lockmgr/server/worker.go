@@ -111,7 +111,7 @@ type worker struct {
 	opConn  []*conn  // opConn[i] owns ops[i] (local ops only)
 	opEnd   []int    // parse cursor just past ops[i]'s frame (local ops only)
 	ready   []*conn  // conns to service this wakeup
-	statsCs []*conn  // conns whose parse stopped at an OpStats frame
+	wantCs  []*conn  // conns whose parse stopped at an inline-answered frame
 	fwdWait []*conn  // source side: conns with a run in flight at a peer
 	fwdExec []*conn  // home side: runs popped from the ring this round
 	segs    []fwdSeg // home side: batch segments owned by foreign runs
@@ -288,7 +288,7 @@ func (w *worker) process() {
 		w.ops = w.ops[:0]
 		w.opConn = w.opConn[:0]
 		w.opEnd = w.opEnd[:0]
-		w.statsCs = w.statsCs[:0]
+		w.wantCs = w.wantCs[:0]
 		for _, c := range w.ready {
 			w.parseConn(c)
 		}
@@ -301,7 +301,7 @@ func (w *worker) process() {
 			w.st.fwdIn.Add(uint64(len(fc.fwd.ops)))
 		}
 		w.fwdExec = w.fwdExec[:0]
-		if len(w.ops) == 0 && len(w.statsCs) == 0 {
+		if len(w.ops) == 0 && len(w.wantCs) == 0 {
 			break
 		}
 		if n := len(w.ops); n > 0 {
@@ -314,8 +314,8 @@ func (w *worker) process() {
 		w.srv.m.ExecBatch(w.ops, w.sc)
 		w.completeForwards()
 		w.encode(localN)
-		for _, c := range w.statsCs {
-			w.answerStats(c)
+		for _, c := range w.wantCs {
+			w.answerWant(c)
 		}
 		for _, c := range w.ready {
 			c.compact()
@@ -351,9 +351,10 @@ func (w *worker) homeOf(req *wire.RawRequest) int {
 
 // parseConn decodes complete frames from c's pending buffer, stopping
 // at a parked acquire, an in-flight forwarded run, a paused
-// write-backlog (wblocked), an OpStats frame (executed between batches
-// to keep per-connection order), the first malformed frame (which
-// condemns the stream), or the first incomplete frame.
+// write-backlog (wblocked), a want frame — OpStats, OpClusterInfo, or a
+// named op the cluster gate refuses, all answered between batches to
+// keep per-connection order — the first malformed frame (which condemns
+// the stream), or the first incomplete frame.
 //
 // Routing happens here: an op homed on this worker (or homeless) joins
 // the local batch; a foreign op starts a run — the maximal prefix of
@@ -367,7 +368,7 @@ func (w *worker) parseConn(c *conn) {
 	var req wire.RawRequest
 	runHome := -1
 	localSeen := false
-	for !c.parked && !c.dead && !c.statsWant && !c.fwdInFlight && !c.wblocked {
+	for !c.parked && !c.dead && c.want == wantNone && !c.fwdInFlight && !c.wblocked {
 		buf := c.pending[c.parsePos:]
 		if len(buf) < 4 {
 			break
@@ -382,6 +383,20 @@ func (w *worker) parseConn(c *conn) {
 		}
 		if err := wire.DecodeRequestRaw(buf[4:4+n], &req); err != nil {
 			c.dead = true
+			break
+		}
+		// Want frames stop the parse and are answered between batches
+		// (after this round's encode, so per-connection order holds). A
+		// pending foreign run defers them unconsumed to the round after
+		// it completes. The cluster gate runs here, before routing: a
+		// name this node does not own must never reach a shard.
+		if wk := w.wantOf(&req); wk != wantNone {
+			if runHome >= 0 {
+				break // answer after the run completes
+			}
+			c.parsePos += 4 + n
+			c.want = wk
+			w.wantCs = append(w.wantCs, c)
 			break
 		}
 		// Route before consuming: a frame that cannot join this round's
@@ -404,15 +419,6 @@ func (w *worker) parseConn(c *conn) {
 			// their own.
 		}
 		c.parsePos += 4 + n
-		if req.Op == wire.OpStats {
-			if runHome >= 0 {
-				c.parsePos -= 4 + n // answer after the run completes
-				break
-			}
-			c.statsWant = true
-			w.statsCs = append(w.statsCs, c)
-			break
-		}
 		op := lockmgr.BatchOp{Tag: c.id, SID: req.SID, Excl: req.Excl,
 			Wait: req.Wait, Lease: req.Lease, Name: req.Name}
 		switch req.Op {
@@ -608,23 +614,50 @@ func (w *worker) park(c *conn, op *lockmgr.BatchOp, endPos int) {
 	}()
 }
 
-// statsPayload is the wire Stats response: the manager snapshot plus
-// the runtime facts a load generator needs to self-describe its bench
-// rows (worker count, affinity mode).
-type statsPayload struct {
-	lockmgr.Snapshot
-	ServerWorkers  int  `json:"server_workers"`
-	ServerAffinity bool `json:"server_affinity"`
+// wantOf classifies a decoded request as a want frame: one the batch
+// cannot answer. OpStats and OpClusterInfo are served from server
+// state; an acquire or release whose name the cluster gate refuses —
+// this node does not own it under the current membership, or quorum is
+// lost — is answered StatusNotOwner with the membership attached so the
+// client can re-aim. Names ExecBatch would reject anyway skip the gate.
+func (w *worker) wantOf(req *wire.RawRequest) uint8 {
+	switch req.Op {
+	case wire.OpStats:
+		return wantStats
+	case wire.OpClusterInfo:
+		return wantInfo
+	case wire.OpAcquire, wire.OpRelease:
+		cl := w.srv.cluster
+		if cl == nil || len(req.Name) == 0 || len(req.Name) > lockmgr.MaxNameLen {
+			return wantNone
+		}
+		if !cl.GateOp(req.Name, req.Op == wire.OpAcquire) {
+			return wantNotOwner
+		}
+	}
+	return wantNone
 }
 
-// answerStats executes one OpStats inline between batches.
-func (w *worker) answerStats(c *conn) {
-	c.statsWant = false
-	if c.dead {
+// statsPayload is the wire Stats response: the manager snapshot plus
+// the runtime facts a load generator needs to self-describe its bench
+// rows (worker count, affinity mode, cluster shape).
+type statsPayload struct {
+	lockmgr.Snapshot
+	ServerWorkers  int    `json:"server_workers"`
+	ServerAffinity bool   `json:"server_affinity"`
+	ClusterMembers int    `json:"cluster_members,omitempty"`
+	ClusterEpoch   uint64 `json:"cluster_epoch,omitempty"`
+}
+
+// answerWant executes one want frame inline between batches.
+func (w *worker) answerWant(c *conn) {
+	kind := c.want
+	c.want = wantNone
+	if c.dead || kind == wantNone {
 		return
 	}
 	if c.parked {
-		// An acquire earlier in this round's batch parked after the stats
+		// An acquire earlier in this round's batch parked after the want
 		// frame was already consumed; park() rewound the parse cursor to
 		// before this frame. Answering now would jump ahead of the parked
 		// acquire's response and then answer again on re-parse after the
@@ -633,18 +666,43 @@ func (w *worker) answerStats(c *conn) {
 	}
 	payload := wire.GetBuffer()
 	defer payload.Free()
-	j, err := json.Marshal(statsPayload{
-		Snapshot:       w.srv.m.Stats(),
-		ServerWorkers:  len(w.srv.workers),
-		ServerAffinity: w.srv.owner != nil,
-	})
-	resp := wire.Response{Status: wire.StatusOK}
-	if err != nil {
-		resp.Status = wire.StatusErr
-	} else {
-		payload.B = append(payload.B, j...)
-		resp.Payload = payload.B
+	var resp wire.Response
+	switch kind {
+	case wantStats:
+		sp := statsPayload{
+			Snapshot:       w.srv.m.Stats(),
+			ServerWorkers:  len(w.srv.workers),
+			ServerAffinity: w.srv.owner != nil,
+		}
+		if cl := w.srv.cluster; cl != nil {
+			sp.ClusterMembers = cl.MemberCount()
+			sp.ClusterEpoch = cl.Epoch()
+		}
+		j, err := json.Marshal(sp)
+		resp.Status = wire.StatusOK
+		if err != nil {
+			resp.Status = wire.StatusErr
+		} else {
+			payload.B = append(payload.B, j...)
+			resp.Payload = payload.B
+		}
+	case wantInfo:
+		// A non-clustered server answers OK with an empty payload: "I am
+		// the whole cluster" — the client treats the dialed address as
+		// the sole owner.
+		resp.Status = wire.StatusOK
+		if cl := w.srv.cluster; cl != nil {
+			payload.B = cl.AppendMembership(payload.B)
+			resp.Payload = payload.B
+		}
+	case wantNotOwner:
+		resp.Status = wire.StatusNotOwner
+		if cl := w.srv.cluster; cl != nil {
+			payload.B = cl.AppendMembership(payload.B)
+			resp.Payload = payload.B
+		}
 	}
+	var err error
 	c.wbuf, err = wire.AppendResponseFrame(c.wbuf, &resp)
 	if err != nil {
 		c.dead = true

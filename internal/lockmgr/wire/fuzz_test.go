@@ -22,6 +22,7 @@ func seedRequests() [][]byte {
 		{Op: OpAcquire, SID: 3, Wait: int64(5e6), Name: "a"},
 		{Op: OpRelease, SID: 3, Excl: true, Name: "cache/config"},
 		{Op: OpStats},
+		{Op: OpClusterInfo},
 		{Op: OpAcquire, Name: strings.Repeat("n", MaxName)},
 	} {
 		frame, err := AppendRequestFrame(nil, &r)
@@ -63,10 +64,15 @@ func FuzzDecodeRequest(f *testing.F) {
 
 // FuzzDecodeResponse mirrors FuzzDecodeRequest for the response side.
 func FuzzDecodeResponse(f *testing.F) {
+	notOwner, err := AppendMembership(nil, &Membership{Epoch: 2, Members: []string{"127.0.0.1:7600", "127.0.0.1:7601", "127.0.0.1:7602"}})
+	if err != nil {
+		f.Fatal(err)
+	}
 	for _, r := range []Response{
 		{Status: StatusOK, SID: 9},
 		{Status: StatusTimeout},
 		{Status: StatusOK, Payload: []byte(`{"shared_grants":1}`)},
+		{Status: StatusNotOwner, Payload: notOwner},
 	} {
 		frame, err := AppendResponseFrame(nil, &r)
 		if err != nil {
@@ -90,6 +96,41 @@ func FuzzDecodeResponse(f *testing.F) {
 		}
 		if !bytes.Equal(frame[4:], p) {
 			t.Fatalf("non-canonical encoding:\n in: %x\nout: %x", p, frame[4:])
+		}
+	})
+}
+
+// FuzzDecodeMembership extends the decode∘encode identity to the cluster
+// membership payload carried by StatusNotOwner and OpClusterInfo replies.
+func FuzzDecodeMembership(f *testing.F) {
+	for _, m := range []Membership{
+		{Epoch: 1, Members: []string{"127.0.0.1:7600"}},
+		{Epoch: 2, Members: []string{"127.0.0.1:7600", "127.0.0.1:7601", "127.0.0.1:7602"}},
+		{Epoch: 0},
+		{Epoch: 1 << 40, Members: []string{strings.Repeat("a", MaxMemberAddr)}},
+	} {
+		p, err := AppendMembership(nil, &m)
+		if err != nil {
+			f.Fatal(err)
+		}
+		f.Add(p)
+	}
+	f.Add([]byte{})
+	f.Add(bytes.Repeat([]byte{0x02}, 12))
+	f.Fuzz(func(t *testing.T, p []byte) {
+		m, err := DecodeMembership(p)
+		if err != nil {
+			return
+		}
+		if len(m.Members) > MaxMembers {
+			t.Fatalf("decoded %d members", len(m.Members))
+		}
+		out, err := AppendMembership(nil, &m)
+		if err != nil {
+			t.Fatalf("accepted membership failed to re-encode: %v", err)
+		}
+		if !bytes.Equal(out, p) {
+			t.Fatalf("non-canonical encoding:\n in: %x\nout: %x", p, out)
 		}
 	})
 }

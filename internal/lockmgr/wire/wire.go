@@ -44,24 +44,26 @@ const (
 type Op uint8
 
 const (
-	OpOpen      Op = 1 // register a session; lease = requested lease ns
-	OpKeepAlive Op = 2 // extend sid's lease
-	OpClose     Op = 3 // gracefully end sid, releasing all holds
-	OpAcquire   Op = 4 // take name; wait ns: 0 try, >0 timed, <0 until lease expiry
-	OpRelease   Op = 5 // drop one hold on name
-	OpStats     Op = 6 // server counters as JSON payload
+	OpOpen        Op = 1 // register a session; lease = requested lease ns
+	OpKeepAlive   Op = 2 // extend sid's lease
+	OpClose       Op = 3 // gracefully end sid, releasing all holds
+	OpAcquire     Op = 4 // take name; wait ns: 0 try, >0 timed, <0 until lease expiry
+	OpRelease     Op = 5 // drop one hold on name
+	OpStats       Op = 6 // server counters as JSON payload
+	OpClusterInfo Op = 7 // cluster membership (epoch + members) as a Membership payload
 )
 
 // Status is a response code.
 type Status uint8
 
 const (
-	StatusOK      Status = 1
-	StatusTimeout Status = 2 // try/timed acquire did not get the lock
-	StatusExpired Status = 3 // session unknown, lapsed, or revoked
-	StatusNotHeld Status = 4 // release of a lock the session does not hold
-	StatusHeld    Status = 5 // exclusive re-acquire by the same session
-	StatusErr     Status = 6 // malformed name or unknown op
+	StatusOK       Status = 1
+	StatusTimeout  Status = 2 // try/timed acquire did not get the lock
+	StatusExpired  Status = 3 // session unknown, lapsed, or revoked
+	StatusNotHeld  Status = 4 // release of a lock the session does not hold
+	StatusHeld     Status = 5 // exclusive re-acquire by the same session
+	StatusErr      Status = 6 // malformed name or unknown op
+	StatusNotOwner Status = 7 // this node does not own the name; payload = Membership
 )
 
 // Request is one client message.
@@ -100,7 +102,7 @@ func AppendRequestFrame(buf []byte, req *Request) ([]byte, error) {
 	if len(req.Name) > MaxName {
 		return buf, fmt.Errorf("%w: name length %d > %d", ErrMalformed, len(req.Name), MaxName)
 	}
-	if req.Op < OpOpen || req.Op > OpStats {
+	if req.Op < OpOpen || req.Op > OpClusterInfo {
 		return buf, fmt.Errorf("%w: unknown op %d", ErrMalformed, req.Op)
 	}
 	buf = binary.BigEndian.AppendUint32(buf, uint32(reqHeader+len(req.Name)))
@@ -125,7 +127,7 @@ func DecodeRequest(p []byte) (Request, error) {
 		return req, fmt.Errorf("%w: request payload %d bytes, need %d", ErrMalformed, len(p), reqHeader)
 	}
 	op := Op(p[0])
-	if op < OpOpen || op > OpStats {
+	if op < OpOpen || op > OpClusterInfo {
 		return req, fmt.Errorf("%w: unknown op %d", ErrMalformed, op)
 	}
 	if p[25] > 1 {
@@ -167,7 +169,7 @@ func DecodeRequestRaw(p []byte, req *RawRequest) error {
 		return fmt.Errorf("%w: request payload %d bytes, need %d", ErrMalformed, len(p), reqHeader)
 	}
 	op := Op(p[0])
-	if op < OpOpen || op > OpStats {
+	if op < OpOpen || op > OpClusterInfo {
 		return fmt.Errorf("%w: unknown op %d", ErrMalformed, op)
 	}
 	if p[25] > 1 {
@@ -194,7 +196,7 @@ func DecodeRequestRaw(p []byte, req *RawRequest) error {
 // sending side and panic-free truncation would corrupt the stream, so
 // they are rejected.
 func AppendResponseFrame(buf []byte, resp *Response) ([]byte, error) {
-	if resp.Status < StatusOK || resp.Status > StatusErr {
+	if resp.Status < StatusOK || resp.Status > StatusNotOwner {
 		return buf, fmt.Errorf("%w: unknown status %d", ErrMalformed, resp.Status)
 	}
 	if len(resp.Payload) > MaxFrame-respHeader {
@@ -215,7 +217,7 @@ func DecodeResponse(p []byte) (Response, error) {
 		return resp, fmt.Errorf("%w: response payload %d bytes, need %d", ErrMalformed, len(p), respHeader)
 	}
 	st := Status(p[0])
-	if st < StatusOK || st > StatusErr {
+	if st < StatusOK || st > StatusNotOwner {
 		return resp, fmt.Errorf("%w: unknown status %d", ErrMalformed, st)
 	}
 	plen := int(binary.BigEndian.Uint32(p[9:13]))
@@ -231,6 +233,81 @@ func DecodeResponse(p []byte) (Response, error) {
 		resp.Payload = p[respHeader:]
 	}
 	return resp, nil
+}
+
+// Membership is the payload of StatusNotOwner responses and OpClusterInfo
+// replies: the responding node's view of the cluster at a given epoch.
+// Members are listener addresses; the epoch only ever rises (each member
+// death bumps it), so routers adopt a membership iff its epoch exceeds
+// the cached one.
+//
+// Encoding: epoch:8 | n:2 | n × (addrLen:2 | addr). Strict like the rest
+// of the protocol: member counts over MaxMembers, empty or oversized
+// addresses, and trailing bytes are all errors, so decode∘encode is the
+// identity here too.
+type Membership struct {
+	Epoch   uint64
+	Members []string
+}
+
+// MaxMembers bounds a membership frame; MaxMemberAddr bounds one
+// address. 64 × (2+255) + 10 stays far under MaxFrame.
+const (
+	MaxMembers    = 64
+	MaxMemberAddr = 255
+)
+
+// AppendMembership appends m's encoding to buf and returns the extended
+// slice.
+func AppendMembership(buf []byte, m *Membership) ([]byte, error) {
+	if len(m.Members) > MaxMembers {
+		return buf, fmt.Errorf("%w: %d members > %d", ErrMalformed, len(m.Members), MaxMembers)
+	}
+	buf = binary.BigEndian.AppendUint64(buf, m.Epoch)
+	buf = binary.BigEndian.AppendUint16(buf, uint16(len(m.Members)))
+	for _, addr := range m.Members {
+		if len(addr) == 0 || len(addr) > MaxMemberAddr {
+			return buf, fmt.Errorf("%w: member address length %d", ErrMalformed, len(addr))
+		}
+		buf = binary.BigEndian.AppendUint16(buf, uint16(len(addr)))
+		buf = append(buf, addr...)
+	}
+	return buf, nil
+}
+
+// DecodeMembership parses one membership payload.
+func DecodeMembership(p []byte) (Membership, error) {
+	var m Membership
+	if len(p) < 10 {
+		return m, fmt.Errorf("%w: membership payload %d bytes, need 10", ErrMalformed, len(p))
+	}
+	m.Epoch = binary.BigEndian.Uint64(p[0:8])
+	n := int(binary.BigEndian.Uint16(p[8:10]))
+	if n > MaxMembers {
+		return m, fmt.Errorf("%w: %d members > %d", ErrMalformed, n, MaxMembers)
+	}
+	p = p[10:]
+	if n > 0 {
+		m.Members = make([]string, 0, n)
+	}
+	for i := 0; i < n; i++ {
+		if len(p) < 2 {
+			return Membership{}, fmt.Errorf("%w: truncated member %d", ErrMalformed, i)
+		}
+		alen := int(binary.BigEndian.Uint16(p[0:2]))
+		if alen == 0 || alen > MaxMemberAddr {
+			return Membership{}, fmt.Errorf("%w: member %d address length %d", ErrMalformed, i, alen)
+		}
+		if len(p) < 2+alen {
+			return Membership{}, fmt.Errorf("%w: truncated member %d address", ErrMalformed, i)
+		}
+		m.Members = append(m.Members, string(p[2:2+alen]))
+		p = p[2+alen:]
+	}
+	if len(p) != 0 {
+		return Membership{}, fmt.Errorf("%w: %d trailing bytes after membership", ErrMalformed, len(p))
+	}
+	return m, nil
 }
 
 // ReadFrame reads one frame from r into *buf (grown as needed, never past

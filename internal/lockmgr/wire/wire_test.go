@@ -18,6 +18,7 @@ func TestRequestRoundTrip(t *testing.T) {
 		{Op: OpAcquire, SID: 7, Wait: int64(250e6), Name: strings.Repeat("k", MaxName)},
 		{Op: OpRelease, SID: 7, Excl: false, Name: "users/alice"},
 		{Op: OpStats},
+		{Op: OpClusterInfo},
 	}
 	var buf []byte
 	for i, req := range reqs {
@@ -49,6 +50,10 @@ func TestResponseRoundTrip(t *testing.T) {
 		{Status: StatusHeld},
 		{Status: StatusErr},
 		{Status: StatusOK, Payload: []byte(`{"grants":12}`)},
+		{Status: StatusNotOwner, Payload: mustMembership(&Membership{
+			Epoch:   3,
+			Members: []string{"127.0.0.1:7600", "127.0.0.1:7601"},
+		})},
 	}
 	for i, resp := range resps {
 		frame, err := AppendResponseFrame(nil, &resp)
@@ -127,6 +132,88 @@ func TestDecodeRejects(t *testing.T) {
 	}
 	if _, err := DecodeResponse([]byte{byte(StatusOK), 0, 0, 0, 0, 0, 0, 0, 0, 0xff, 0xff, 0xff, 0xff}); !errors.Is(err, ErrTooLarge) {
 		t.Errorf("huge response payload claim: %v", err)
+	}
+}
+
+func mustMembership(m *Membership) []byte {
+	p, err := AppendMembership(nil, m)
+	if err != nil {
+		panic(err)
+	}
+	return p
+}
+
+func TestMembershipRoundTrip(t *testing.T) {
+	members := make([]string, MaxMembers)
+	for i := range members {
+		members[i] = strings.Repeat("m", MaxMemberAddr)
+	}
+	cases := []Membership{
+		{Epoch: 1, Members: []string{"127.0.0.1:7600"}},
+		{Epoch: 9, Members: []string{"a:1", "b:2", "c:3"}},
+		{Epoch: 0, Members: nil}, // legal on the wire: an emptied cluster
+		{Epoch: 1 << 62, Members: members},
+	}
+	for i, m := range cases {
+		p, err := AppendMembership(nil, &m)
+		if err != nil {
+			t.Fatalf("case %d: encode: %v", i, err)
+		}
+		got, err := DecodeMembership(p)
+		if err != nil {
+			t.Fatalf("case %d: decode: %v", i, err)
+		}
+		if got.Epoch != m.Epoch || len(got.Members) != len(m.Members) {
+			t.Fatalf("case %d: round trip %+v -> %+v", i, m, got)
+		}
+		for j := range m.Members {
+			if got.Members[j] != m.Members[j] {
+				t.Fatalf("case %d member %d: %q != %q", i, j, got.Members[j], m.Members[j])
+			}
+		}
+	}
+}
+
+func TestMembershipRejects(t *testing.T) {
+	if _, err := AppendMembership(nil, &Membership{Members: make([]string, MaxMembers+1)}); !errors.Is(err, ErrMalformed) {
+		t.Fatalf("too many members: %v", err)
+	}
+	if _, err := AppendMembership(nil, &Membership{Members: []string{""}}); !errors.Is(err, ErrMalformed) {
+		t.Fatalf("empty address: %v", err)
+	}
+	if _, err := AppendMembership(nil, &Membership{Members: []string{strings.Repeat("x", MaxMemberAddr+1)}}); !errors.Is(err, ErrMalformed) {
+		t.Fatalf("oversized address: %v", err)
+	}
+
+	valid := mustMembership(&Membership{Epoch: 2, Members: []string{"n1:1", "n2:2"}})
+	cases := []struct {
+		name string
+		p    []byte
+	}{
+		{"empty", nil},
+		{"short header", valid[:9]},
+		{"count beyond payload", func() []byte {
+			p := append([]byte(nil), valid...)
+			p[8], p[9] = 0x00, 0x07
+			return p
+		}()},
+		{"count over MaxMembers", func() []byte {
+			p := append([]byte(nil), valid...)
+			p[8], p[9] = 0xff, 0xff
+			return p
+		}()},
+		{"zero-length address", func() []byte {
+			p := append([]byte(nil), valid...)
+			p[10], p[11] = 0, 0
+			return p
+		}()},
+		{"truncated address", valid[:len(valid)-1]},
+		{"trailing garbage", append(append([]byte(nil), valid...), 0)},
+	}
+	for _, tc := range cases {
+		if _, err := DecodeMembership(tc.p); !errors.Is(err, ErrMalformed) {
+			t.Errorf("%s: err = %v, want ErrMalformed", tc.name, err)
+		}
 	}
 }
 
