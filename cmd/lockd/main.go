@@ -108,7 +108,7 @@ func main() {
 		clusterArg   = flag.String("cluster", "", "comma-separated member list, this node first (e.g. self:7600,peer:7600,...); enables clustered mode")
 		hbIvl        = flag.Duration("hb", 250*time.Millisecond, "cluster heartbeat period")
 		suspectAfter = flag.Int("suspect-after", 3, "consecutive heartbeat failures before a peer is declared dead")
-		failWindow   = flag.Duration("failover-window", 0, "ghost-hold quarantine after a member death; must cover every lease the dead node could have granted (0 = -max-lease)")
+		failWindow   = flag.Duration("failover-window", 0, "ghost-hold quarantine after a member death; must be >= -max-lease, which must be homogeneous across the cluster, so every lease the dead node could have granted has expired (0 = -max-lease; smaller values are rejected at startup)")
 		showVersion  = flag.Bool("version", false, "print build info and exit")
 	)
 	flag.Parse()
@@ -167,7 +167,10 @@ func main() {
 			// Every lease the dead node granted was capped at its
 			// -max-lease; quarantining inherited names for the same
 			// window guarantees those leases have expired before a
-			// survivor re-grants.
+			// survivor re-grants. (NewNode rejects an explicit window
+			// shorter than the manager's MaxLease for the same reason —
+			// the invariant assumes -max-lease is homogeneous across
+			// the cluster.)
 			fw = *maxLease
 		}
 		var err error

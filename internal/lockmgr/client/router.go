@@ -416,8 +416,12 @@ func (r *Router) do(name string, op func(*routedNode) error) error {
 			}
 			// An isolated (quorum-less) node answers NotOwner while
 			// still naming itself the owner; Refresh would learn
-			// nothing newer from it, and the backoff above keeps the
-			// probe loop polite until a majority view reappears.
+			// nothing newer from it. Isolation is terminal — the node
+			// fences itself and members never rejoin — so these
+			// backed-off retries only ride out the transient case
+			// where a healthy majority exists and an epoch bump is
+			// about to reroute the name; against a fenced remnant the
+			// attempt budget runs out into ErrNoQuorum.
 			continue
 		case errors.Is(err, lockmgr.ErrExpired):
 			// Session lapsed (e.g. this client stalled past its lease).

@@ -111,6 +111,10 @@ type handoffCluster struct {
 
 func (h *handoffCluster) GateOp(name []byte, acquire bool) bool { return false }
 
+// Not isolated: sessions must still open so the NotOwner answers come
+// from ownership, not fencing.
+func (h *handoffCluster) Isolated() bool { return false }
+
 func (h *handoffCluster) AppendMembership(buf []byte) []byte {
 	wm := &h.then
 	if h.calls.Add(1) == 1 {

@@ -7,6 +7,7 @@ package cluster_test
 
 import (
 	"errors"
+	"fmt"
 	"net"
 	"sync"
 	"sync/atomic"
@@ -393,10 +394,33 @@ func TestClusterFailover(t *testing.T) {
 
 // TestClusterQuorumLoss: a 3-node cluster that loses two members must
 // refuse to serve from the survivor — a minority may not grant locks it
-// only owns because everyone who would object is unreachable.
+// only owns because everyone who would object is unreachable. Isolation
+// fences the node completely: sessions granted before the partition are
+// revoked, keepalives and new opens are refused, so no lease of the
+// minority can outlive the quarantine a healthy majority would wait out
+// before re-granting (the split-brain double-holder scenario).
 func TestClusterQuorumLoss(t *testing.T) {
 	tc := startCluster(t, 3, 300*time.Millisecond)
 	tc.awaitHealthy()
+
+	// A pre-partition client holds a name node 0 owns outright; fencing
+	// must revoke this hold even though the client never misbehaves.
+	held := ""
+	m0 := tc.nodes[0].Current()
+	for i := 0; i < 64 && held == ""; i++ {
+		cand := fmt.Sprintf("fence-key-%d", i)
+		if m0.Owner(cand) == tc.addrs[0] {
+			held = cand
+		}
+	}
+	if held == "" {
+		t.Fatal("no probe name rendezvous-hashed to node 0")
+	}
+	hc, hsid := tc.dialSession(0, 300*time.Millisecond)
+	defer hc.Close()
+	if err := hc.Acquire(hsid, held, true, 0); err != nil {
+		t.Fatalf("pre-partition acquire %q: %v", held, err)
+	}
 
 	tc.kill(1)
 	tc.kill(2)
@@ -409,13 +433,33 @@ func TestClusterQuorumLoss(t *testing.T) {
 		time.Sleep(5 * time.Millisecond)
 	}
 
-	// Every op on the survivor — even for names it owns outright under
-	// the shrunken map — answers NotOwner.
-	c, sid := tc.dialSession(0, 300*time.Millisecond)
-	defer c.Close()
-	err := c.Acquire(sid, "any-name-at-all", true, 0)
-	if !errors.Is(err, client.ErrNotOwner) {
+	// Fenced: the lease lifecycle is refused wholesale — the
+	// pre-partition session cannot renew, no new session opens, and
+	// every named op answers NotOwner even for names the shrunken map
+	// says this node owns.
+	if err := hc.KeepAlive(hsid, 300*time.Millisecond); !errors.Is(err, client.ErrNotOwner) {
+		t.Fatalf("keepalive on fenced survivor: got %v, want ErrNotOwner", err)
+	}
+	if err := hc.Acquire(hsid, "any-name-at-all", true, 0); !errors.Is(err, client.ErrNotOwner) {
 		t.Fatalf("isolated node acquire: got %v, want ErrNotOwner", err)
+	}
+	c, err := client.Dial(tc.addrs[0])
+	if err != nil {
+		t.Fatalf("dial fenced survivor: %v", err)
+	}
+	defer c.Close()
+	if _, err := c.Open(300 * time.Millisecond); !errors.Is(err, client.ErrNotOwner) {
+		t.Fatalf("open on fenced survivor: got %v, want ErrNotOwner", err)
+	}
+	// Every session the survivor ever granted — the fenced client's,
+	// the dead peers' heartbeat sessions, the ghost sessions — is
+	// revoked or expired; none may linger past the fence.
+	deadline = time.Now().Add(2 * time.Second)
+	for tc.mgrs[0].SessionCount() > 0 {
+		if time.Now().After(deadline) {
+			t.Fatalf("fenced survivor still has %d live sessions", tc.mgrs[0].SessionCount())
+		}
+		time.Sleep(5 * time.Millisecond)
 	}
 
 	// A Router against the isolated remnant gives up with ErrNoQuorum.
@@ -432,5 +476,31 @@ func TestClusterQuorumLoss(t *testing.T) {
 	defer r.Close()
 	if err := r.Acquire("any-name-at-all", true, 100*time.Millisecond); !errors.Is(err, client.ErrNoQuorum) {
 		t.Fatalf("router against isolated remnant: got %v, want ErrNoQuorum", err)
+	}
+}
+
+// TestNewNodeFailoverWindowValidation: the quarantine must cover every
+// lease the manager can grant — NewNode rejects FailoverWindow <
+// Manager.MaxLease and accepts equality (lockd's default wiring).
+func TestNewNodeFailoverWindowValidation(t *testing.T) {
+	m := lockmgr.New(lockmgr.Config{MaxLease: time.Minute})
+	defer m.Close()
+	cfg := cluster.Config{
+		Self:           "a:1",
+		Members:        []string{"a:1", "b:1", "c:1"},
+		Manager:        m,
+		FailoverWindow: 30 * time.Second,
+	}
+	if _, err := cluster.NewNode(cfg); err == nil {
+		t.Fatal("NewNode accepted FailoverWindow 30s < MaxLease 1m")
+	}
+	cfg.FailoverWindow = time.Minute
+	if _, err := cluster.NewNode(cfg); err != nil {
+		t.Fatalf("NewNode rejected FailoverWindow == MaxLease: %v", err)
+	}
+	// The 1m default window also satisfies the default 1m MaxLease.
+	cfg.FailoverWindow = 0
+	if _, err := cluster.NewNode(cfg); err != nil {
+		t.Fatalf("NewNode rejected default FailoverWindow: %v", err)
 	}
 }

@@ -27,23 +27,36 @@ import (
 // Safety: a client of the dead node may still believe it holds a lock —
 // its lease, granted by the dead node, runs for up to MaxLease past its
 // last renewal, which is at most FailoverWindow past the moment we
-// noticed the death. So for each name inherited from the dead member,
-// the survivor takes an exclusive "ghost" hold (lazily, the first time
-// an acquire for that name arrives) under a ghost session whose lease is
-// FailoverWindow and which is never kept alive. Real acquires queue
-// FIFO behind the ghost; when the existing lease reaper expires the
-// ghost session it revokes every ghost hold, and the head waiter is
-// granted — exactly once, in arrival order, by machinery that predates
-// the cluster.
+// noticed the death (NewNode enforces FailoverWindow >= the local
+// manager's MaxLease; deployments must keep -max-lease homogeneous so
+// the bound holds for the dead node's leases too). So for each name
+// inherited from the dead member, the survivor takes an exclusive
+// "ghost" hold (lazily, the first time an acquire for that name
+// arrives) under a ghost session whose lease is FailoverWindow and
+// which is never kept alive. Real acquires queue FIFO behind the ghost;
+// when the existing lease reaper expires the ghost session it revokes
+// every ghost hold, and the head waiter is granted — exactly once, in
+// arrival order, by machinery that predates the cluster. Membership
+// never shrinks without its quarantine: if the ghost session cannot be
+// opened (manager closing), the death declaration is aborted and
+// retried, so inherited names are never served unprotected.
 //
 // Split-brain: a node that can no longer reach a majority of the
-// INITIAL membership stops serving (every op answers NotOwner). The
-// quorum is measured against the initial size, not the current map —
-// a partitioned minority also shrinks its current map, and measuring
-// against that would let it vote itself a quorum of one. A 2-node
-// cluster therefore freezes when either node dies: documented, and the
-// reason the smoke tests run 3 nodes. Dead members never rejoin; a
-// redeploy restarts the cluster at a fresh epoch.
+// INITIAL membership stops serving and fences itself — every named op
+// answers NotOwner, OpOpen/OpKeepAlive are refused (the server gates
+// them on Isolated), and every session this node ever granted is
+// revoked on the spot. Fencing is what makes the survivors' quarantine
+// sound under an asymmetric partition: a client still connected to the
+// isolated minority cannot renew its lease (keepalives are refused and
+// its session is already gone), so every grant of the minority is dead
+// well within the FailoverWindow the majority waits out before
+// re-granting. The quorum is measured against the initial size, not the
+// current map — a partitioned minority also shrinks its current map,
+// and measuring against that would let it vote itself a quorum of one.
+// A 2-node cluster therefore freezes when either node dies: documented,
+// and the reason the smoke tests run 3 nodes. Isolation is terminal and
+// dead members never rejoin; a redeploy restarts the cluster at a fresh
+// epoch.
 type Node struct {
 	cfg      Config
 	initialN int
@@ -79,9 +92,10 @@ type Config struct {
 	SuspectAfter int
 	// FailoverWindow is the ghost-hold quarantine after a death: no
 	// inherited name is granted until this much time has passed, so
-	// every lease the dead node granted has expired. Must be at least
-	// the cluster-wide MaxLease (lockd wires exactly that); the manager
-	// clamps the ghost session's lease to MaxLease anyway. Default 1m.
+	// every lease the dead node granted has expired. NewNode rejects a
+	// window shorter than Manager.MaxLease — with the required
+	// homogeneous -max-lease across the cluster, that is exactly the
+	// longest any dead member's lease can run. Default 1m.
 	FailoverWindow time.Duration
 	// BootGrace is how long after Start a peer that has never answered
 	// is forgiven its misses — cluster members boot staggered, and a
@@ -122,6 +136,16 @@ func NewNode(cfg Config) (*Node, error) {
 	}
 	if cfg.FailoverWindow <= 0 {
 		cfg.FailoverWindow = time.Minute
+	}
+	// Safety invariant: the quarantine must outlive every lease the dead
+	// node could have granted. Locally that means FailoverWindow >=
+	// MaxLease; heterogeneous -max-lease across members would void the
+	// bound, so deployments keep it homogeneous (documented on lockd's
+	// flags).
+	if maxl := cfg.Manager.MaxLease(); cfg.FailoverWindow < maxl {
+		return nil, fmt.Errorf(
+			"cluster: FailoverWindow %v < manager MaxLease %v — a dead member's lease could outlive the ghost quarantine; raise -failover-window or lower -max-lease",
+			cfg.FailoverWindow, maxl)
 	}
 	if cfg.BootGrace <= 0 {
 		cfg.BootGrace = 20 * cfg.Interval
@@ -184,7 +208,11 @@ func (n *Node) StatusJSON() ([]byte, error) {
 	return json.MarshalIndent(n.Status(), "", " ")
 }
 
-// Isolated reports whether this node lost quorum and stopped serving.
+// Isolated reports whether this node lost quorum and fenced itself.
+// Part of the server's Cluster interface: an isolated node's server
+// refuses OpOpen and OpKeepAlive (NotOwner) so no new lease can be
+// granted or renewed, complementing the session revocation done at
+// fencing time. Isolation is terminal — members never rejoin.
 func (n *Node) Isolated() bool { return n.isolated.Load() }
 
 // GateOp decides whether this node may execute an op on name: it must
@@ -240,39 +268,53 @@ func (n *Node) applyQuarantine(name []byte) {
 }
 
 // declareDead removes peer from the map, bumps the epoch, opens the
-// ghost session, and re-checks quorum. Idempotent.
-func (n *Node) declareDead(ps *peerState) {
-	ps.dead.Store(true)
+// ghost session, and re-checks quorum. Idempotent. It reports whether
+// the declaration committed: membership never shrinks without its ghost
+// quarantine, so if the ghost session cannot be opened (only possible
+// while the manager is closing) nothing changes and the caller retries.
+func (n *Node) declareDead(ps *peerState) bool {
 	n.mu.Lock()
 	cur := n.cur.Load()
 	if !cur.Contains(ps.addr) {
 		n.mu.Unlock()
-		return
+		return true
+	}
+	sid, err := n.cfg.Manager.Open(n.cfg.FailoverWindow)
+	if err != nil {
+		n.mu.Unlock()
+		n.logf("cluster: NOT declaring %s dead: ghost session unavailable (%v); membership unchanged, will retry", ps.addr, err)
+		return false
 	}
 	next := cur.Without(ps.addr)
-	sid, err := n.cfg.Manager.Open(n.cfg.FailoverWindow)
-	if err == nil {
-		n.quars = append(n.quars, &quarantine{
-			prev:     cur,
-			dead:     ps.addr,
-			ghostSID: sid,
-			deadline: time.Now().Add(n.cfg.FailoverWindow),
-			taken:    make(map[string]struct{}),
-		})
-		n.nquar.Store(int32(len(n.quars)))
-	}
+	n.quars = append(n.quars, &quarantine{
+		prev:     cur,
+		dead:     ps.addr,
+		ghostSID: sid,
+		deadline: time.Now().Add(n.cfg.FailoverWindow),
+		taken:    make(map[string]struct{}),
+	})
+	n.nquar.Store(int32(len(n.quars)))
 	n.cur.Store(next)
+	ps.dead.Store(true)
 	lost := next.Len() < n.quorum
 	if lost {
 		n.isolated.Store(true)
 	}
 	n.mu.Unlock()
-	if err != nil {
-		n.logf("cluster: ghost session after %s death: %v", ps.addr, err)
+	if lost {
+		// Fence: with isolated set, the server already refuses new
+		// OpOpen/OpKeepAlive, and revoking every live session kills the
+		// leases granted before the partition. An open racing the fence
+		// can slip one session in, but its keepalives are refused from
+		// now on, so it too expires within MaxLease <= FailoverWindow of
+		// the moment the majority notices this node is gone.
+		revoked := n.cfg.Manager.RevokeAllSessions()
+		n.logf("cluster: fenced after quorum loss: %d local sessions revoked", revoked)
 	}
 	n.logf("cluster: member %s dead; epoch %d -> %d, %d/%d members%s",
 		ps.addr, cur.Epoch(), next.Epoch(), next.Len(), n.initialN,
 		map[bool]string{true: " — QUORUM LOST, refusing ops", false: ""}[lost])
+	return true
 }
 
 // heartbeat keeps one session alive on a peer and declares it dead
@@ -341,8 +383,11 @@ func (n *Node) heartbeat(ps *peerState) {
 			continue // peer still booting; misses don't count yet
 		}
 		if misses++; misses >= n.cfg.SuspectAfter {
-			n.declareDead(ps)
-			return // members never rejoin
+			if n.declareDead(ps) {
+				return // members never rejoin
+			}
+			// Ghost session unavailable (manager closing); keep ticking
+			// so the declaration is retried rather than silently lost.
 		}
 	}
 }

@@ -233,6 +233,29 @@ func (m *Manager) Close() {
 	m.wg.Wait()
 }
 
+// MaxLease reports the effective cap on granted leases — every lease
+// this manager hands out expires at most MaxLease past its last
+// renewal. The cluster layer validates its failover window against it.
+func (m *Manager) MaxLease() time.Duration { return m.cfg.MaxLease }
+
+// RevokeAllSessions expires every live session — holds released, queued
+// waiters cancelled with ErrExpired — without closing the manager. It
+// returns the number of sessions revoked. This is the cluster layer's
+// fencing primitive: an isolated node revokes everything it granted so
+// no lease of its outlives the quarantine the survivors wait out.
+func (m *Manager) RevokeAllSessions() int {
+	m.smu.RLock()
+	victims := make([]*Session, 0, len(m.sessions))
+	for _, s := range m.sessions {
+		victims = append(victims, s)
+	}
+	m.smu.RUnlock()
+	for _, s := range victims {
+		m.expireSession(s, true)
+	}
+	return len(victims)
+}
+
 // fnv32 is FNV-1a, the shard hash for lock names.
 func fnv32(s string) uint32 {
 	h := uint32(2166136261)

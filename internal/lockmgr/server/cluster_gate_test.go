@@ -7,6 +7,7 @@ import (
 	"net/http"
 	"net/http/httptest"
 	"strings"
+	"sync/atomic"
 	"testing"
 	"time"
 
@@ -19,12 +20,15 @@ import (
 // are owned here, everything else answers NotOwner. It exercises the
 // server's Cluster seam without booting real heartbeats.
 type fakeCluster struct {
-	wm wire.Membership
+	wm       wire.Membership
+	isolated atomic.Bool
 }
 
 func (f *fakeCluster) GateOp(name []byte, acquire bool) bool {
-	return bytes.HasPrefix(name, []byte("mine-"))
+	return !f.isolated.Load() && bytes.HasPrefix(name, []byte("mine-"))
 }
+
+func (f *fakeCluster) Isolated() bool { return f.isolated.Load() }
 
 func (f *fakeCluster) AppendMembership(buf []byte) []byte {
 	out, err := wire.AppendMembership(buf, &f.wm)
@@ -40,14 +44,14 @@ func (f *fakeCluster) StatusJSON() ([]byte, error) {
 	return []byte(`{"self":"fake","epoch":7}`), nil
 }
 
-func startClusteredServer(t *testing.T) (addr string, m *lockmgr.Manager, srv *Server) {
+func startClusteredServer(t *testing.T) (addr string, m *lockmgr.Manager, fake *fakeCluster) {
 	t.Helper()
 	m = lockmgr.New(testCfg())
-	fake := &fakeCluster{wm: wire.Membership{
+	fake = &fakeCluster{wm: wire.Membership{
 		Epoch:   7,
 		Members: []string{"10.0.0.1:7600", "10.0.0.2:7600", "10.0.0.3:7600"},
 	}}
-	srv = NewWithConfig(m, Config{Workers: 2, Cluster: fake})
+	srv := NewWithConfig(m, Config{Workers: 2, Cluster: fake})
 	ln, err := net.Listen("tcp", "127.0.0.1:0")
 	if err != nil {
 		t.Fatalf("listen: %v", err)
@@ -58,7 +62,7 @@ func startClusteredServer(t *testing.T) (addr string, m *lockmgr.Manager, srv *S
 		srv.Shutdown(5 * time.Second)
 		<-served
 	})
-	return ln.Addr().String(), m, srv
+	return ln.Addr().String(), m, fake
 }
 
 // TestClusterGateNotOwner: a pipelined batch mixing owned and foreign
@@ -107,6 +111,42 @@ func TestClusterGateNotOwner(t *testing.T) {
 	// state it no longer authorities.
 	if err := c.Release(sid, "theirs-b", true); !errors.Is(err, client.ErrNotOwner) {
 		t.Errorf("release theirs-b: %v, want ErrNotOwner", err)
+	}
+}
+
+// TestClusterGateFenced: on an isolated (quorum-less) node the server
+// refuses the whole lease lifecycle — OpOpen and OpKeepAlive answer
+// NotOwner exactly like named ops, so a partitioned minority can
+// neither grant a new lease nor renew one a client already holds.
+// OpClose stays ungated: releasing state is always safe.
+func TestClusterGateFenced(t *testing.T) {
+	addr, _, fake := startClusteredServer(t)
+	c, err := client.Dial(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	sid, err := c.Open(time.Minute) // healthy node: lease granted
+	if err != nil {
+		t.Fatalf("open before isolation: %v", err)
+	}
+
+	fake.isolated.Store(true)
+	if err := c.KeepAlive(sid, time.Minute); !errors.Is(err, client.ErrNotOwner) {
+		t.Errorf("keepalive on fenced node: %v, want ErrNotOwner", err)
+	}
+	if _, err := c.Open(time.Minute); !errors.Is(err, client.ErrNotOwner) {
+		t.Errorf("open on fenced node: %v, want ErrNotOwner", err)
+	}
+	if err := c.Acquire(sid, "mine-a", true, 0); !errors.Is(err, client.ErrNotOwner) {
+		t.Errorf("acquire on fenced node: %v, want ErrNotOwner", err)
+	}
+	// The refusal carries the membership so a routing client can re-aim.
+	if wm, ok := c.Membership(); !ok || len(wm.Members) != 3 {
+		t.Errorf("fenced NotOwner membership: ok=%v members=%d, want 3", ok, len(wm.Members))
+	}
+	if err := c.CloseSession(sid); err != nil {
+		t.Errorf("close on fenced node: %v, want nil", err)
 	}
 }
 

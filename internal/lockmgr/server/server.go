@@ -73,6 +73,12 @@ type Cluster interface {
 	// acquire distinguishes acquires (which may arm failover
 	// quarantines) from releases.
 	GateOp(name []byte, acquire bool) bool
+	// Isolated reports whether the node has fenced itself after quorum
+	// loss. While true, OpOpen and OpKeepAlive are answered NotOwner —
+	// an isolated node must not grant or renew any lease, or a client
+	// still attached to a partitioned minority could hold a lock past
+	// the quarantine the majority waits out before re-granting it.
+	Isolated() bool
 	// AppendMembership appends the current membership's wire encoding.
 	AppendMembership(buf []byte) []byte
 	// Epoch and MemberCount describe the current map for metrics.

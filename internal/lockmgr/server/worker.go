@@ -620,12 +620,20 @@ func (w *worker) park(c *conn, op *lockmgr.BatchOp, endPos int) {
 // this node does not own it under the current membership, or quorum is
 // lost — is answered StatusNotOwner with the membership attached so the
 // client can re-aim. Names ExecBatch would reject anyway skip the gate.
+// On a fenced (isolated) node OpOpen and OpKeepAlive are refused too:
+// granting or renewing a lease from a quorum-less minority would let a
+// partitioned client outlive the majority's failover quarantine.
+// OpClose stays ungated — releasing everything is always safe.
 func (w *worker) wantOf(req *wire.RawRequest) uint8 {
 	switch req.Op {
 	case wire.OpStats:
 		return wantStats
 	case wire.OpClusterInfo:
 		return wantInfo
+	case wire.OpOpen, wire.OpKeepAlive:
+		if cl := w.srv.cluster; cl != nil && cl.Isolated() {
+			return wantNotOwner
+		}
 	case wire.OpAcquire, wire.OpRelease:
 		cl := w.srv.cluster
 		if cl == nil || len(req.Name) == 0 || len(req.Name) > lockmgr.MaxNameLen {
